@@ -1,0 +1,255 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure;
+// see DESIGN.md's per-experiment index):
+//
+//   - BenchmarkTable1 — candidate-space counting for all ten sketches;
+//   - BenchmarkFig9/<bench>/<test> — full CEGIS runs over the Figure 9
+//     grid (synthesis + model checking);
+//   - BenchmarkFig_TransSSE — the §3 sequential shufps transpose;
+//   - BenchmarkAblationReorder* — the §7.2 quadratic vs insertion
+//     reorder encodings on the Figure 1 queue sketch;
+//   - BenchmarkMC_QueueE1 — one full verifier pass (all interleavings);
+//   - BenchmarkProjection_QueueE2 — one trace projection + encoding.
+//
+// Absolute times are not expected to match the paper's 2008 testbed;
+// the shape (who resolves, iteration counts, relative cost of the
+// phases) is the reproduction target. Run with:
+//
+//	go test -bench=. -benchmem
+package psketch
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/circuit"
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/parser"
+	"psketch/internal/project"
+	"psketch/internal/sketches"
+	"psketch/internal/state"
+	"psketch/internal/sym"
+)
+
+func compileBench(b *testing.B, bm *sketches.Benchmark, test string) *desugar.Sketch {
+	b.Helper()
+	src, err := bm.Source(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "Main", bm.Opts(test))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+// BenchmarkTable1 measures compiling + counting all ten sketches
+// (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bm := range sketches.All() {
+			sk := compileBench(b, bm, bm.Tests[0])
+			if sk.Count.Sign() <= 0 {
+				b.Fatalf("%s: bad count", bm.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 runs the full synthesis grid. The dinphilo N=5 row
+// needs a large verifier budget and minutes of time; it is skipped in
+// short mode.
+func BenchmarkFig9(b *testing.B) {
+	for _, bm := range sketches.All() {
+		for _, test := range bm.Tests {
+			bm, test := bm, test
+			name := bm.Name + "/" + sanitize(test)
+			b.Run(name, func(b *testing.B) {
+				if testing.Short() && (bm.Name == "dinphilo" && strings.HasPrefix(test, "N=5")) {
+					b.Skip("large state space")
+				}
+				sk := compileBench(b, bm, test)
+				maxStates := 0
+				if bm.Name == "dinphilo" && strings.HasPrefix(test, "N=5") {
+					maxStates = 60_000_000
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					syn, err := core.New(sk, core.Options{MCMaxStates: maxStates})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := syn.Synthesize()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Resolved != bm.Resolvable[test] {
+						b.Fatalf("resolved=%v want %v", res.Resolved, bm.Resolvable[test])
+					}
+					b.ReportMetric(float64(res.Stats.Iterations), "iters")
+					b.ReportMetric(float64(res.Stats.MCStates), "mc-states")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig_TransSSE is the §3 sequential example (2×2 variant; the
+// 4×4 takes about a minute and runs in the examples and long tests).
+func BenchmarkFig_TransSSE(b *testing.B) {
+	src := sketches.TransposeSource(2)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "trans_sse", sketches.TransposeOpts(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn, err := core.New(sk, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := syn.Synthesize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Resolved {
+			b.Fatal("did not resolve")
+		}
+	}
+}
+
+// ablation: the two reorder encodings of §7.2 on the Figure 1 sketch.
+func benchEncoding(b *testing.B, enc desugar.Encoding) {
+	bm := sketches.QueueE2()
+	src, err := bm.Source("ed(ed|ed)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bm.Opts("ed(ed|ed)")
+	opts.Encoding = enc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk, err := desugar.Desugar(prog, "Main", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syn, err := core.New(sk, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := syn.Synthesize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Resolved {
+			b.Fatal("did not resolve")
+		}
+		b.ReportMetric(float64(res.Stats.Iterations), "iters")
+	}
+}
+
+func BenchmarkAblationReorderInsertion(b *testing.B) { benchEncoding(b, desugar.EncodeInsertion) }
+func BenchmarkAblationReorderQuadratic(b *testing.B) { benchEncoding(b, desugar.EncodeQuadratic) }
+
+// BenchmarkMC_QueueE1 measures one exhaustive verifier pass (the Vsolve
+// column) on the correct queueE1 candidate.
+func BenchmarkMC_QueueE1(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE1(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(layout, desugar.Candidate{0, 0}, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatal("expected OK")
+		}
+	}
+}
+
+// BenchmarkProjection_QueueE2 measures one trace projection + symbolic
+// encoding (the Smodel column) for a failing queueE2 candidate.
+func BenchmarkProjection_QueueE2(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE2(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := make(desugar.Candidate, len(sk.Holes))
+	res, err := mc.Check(layout, bad, mc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.OK {
+		b.Fatal("expected a counterexample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb := circuit.NewBuilder()
+		holes := sym.HoleInputs(cb, sk)
+		entries := project.Build(prog, res.Trace)
+		if _, err := project.Encode(cb, layout, holes, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sanitize(s string) string {
+	r := strings.NewReplacer("(", "_", ")", "_", "|", "-", ",", "_", "=", "")
+	return r.Replace(s)
+}
+
+// ablation: the model checker's partial-order reduction (eager
+// thread-local steps) on vs off, on one full queueE1 verification.
+func benchPOR(b *testing.B, disable bool) {
+	sk := compileBench(b, sketches.QueueE1(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(layout, desugar.Candidate{0, 0}, mc.Options{NoLocalFusion: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatal("expected OK")
+		}
+		b.ReportMetric(float64(res.States), "states")
+	}
+}
+
+func BenchmarkAblationPOROn(b *testing.B)  { benchPOR(b, false) }
+func BenchmarkAblationPOROff(b *testing.B) { benchPOR(b, true) }

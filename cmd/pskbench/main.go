@@ -1,0 +1,60 @@
+// Command pskbench regenerates the paper's evaluation artifacts:
+//
+//	pskbench -table1            # Table 1: candidate-space sizes
+//	pskbench -fig9              # Figure 9: per-test synthesis performance
+//	pskbench -fig9 -filter queue -timeout 10m
+//	pskbench -fig10             # Figure 10: log|C| vs iterations
+//
+// Every table prints measured values next to the paper's, matching the
+// per-experiment index in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"psketch/internal/bench"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "regenerate Table 1")
+		fig9    = flag.Bool("fig9", false, "regenerate Figure 9")
+		fig10   = flag.Bool("fig10", false, "regenerate Figure 10 (runs the Figure 9 grid)")
+		filter  = flag.String("filter", "", "benchmark name substring filter")
+		extras  = flag.Bool("extras", false, "include extension benchmarks (treiber)")
+		traces  = flag.Int("traces", 1, "counterexample traces per CEGIS iteration (multi-trace learning)")
+		timeout = flag.Duration("timeout", 30*time.Minute, "per-test synthesis timeout")
+		verbose = flag.Bool("v", false, "per-iteration progress")
+	)
+	flag.Parse()
+	if !*table1 && !*fig9 && !*fig10 {
+		*table1, *fig9, *fig10 = true, true, true
+	}
+	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces}
+	if *verbose {
+		opts.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *table1 {
+		fmt.Println("== Table 1: candidate-space sizes ==")
+		if err := bench.Table1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	var rows []bench.Row
+	if *fig9 || *fig10 {
+		fmt.Println("== Figure 9: synthesis performance (measured | paper) ==")
+		rows = bench.RunFig9(os.Stdout, opts)
+		fmt.Println()
+	}
+	if *fig10 {
+		fmt.Println("== Figure 10: log10|C| vs CEGIS iterations ==")
+		bench.Fig10(os.Stdout, rows)
+	}
+}

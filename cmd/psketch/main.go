@@ -1,0 +1,114 @@
+// Command psketch synthesizes a sketch file:
+//
+//	psketch [flags] file.psk
+//
+// The target defaults to the single harness (or implements) function in
+// the file; -target overrides. On success the resolved program is
+// printed (holes filled, chosen statement order restored); if the
+// sketch cannot be completed the exit status is 2 and the tool prints
+// NO, as PSKETCH did for the lazyset benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psketch"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "", "harness/implements function to synthesize (default: autodetect)")
+		intWidth  = flag.Int("intwidth", 5, "bit width of int values")
+		holeWidth = flag.Int("holewidth", 3, "default bit width of ?? holes")
+		loopBound = flag.Int("loopbound", 4, "while-loop unroll bound")
+		maxRepeat = flag.Int("maxrepeat", 8, "repeat(??) bound")
+		quadratic = flag.Bool("quadratic", false, "use the quadratic reorder encoding (default: insertion)")
+		maxStates = flag.Int("maxstates", 0, "model-checker state budget (0 = default)")
+		verbose   = flag.Bool("v", false, "per-iteration progress")
+		showCount = flag.Bool("count", false, "print |C| and exit")
+		all       = flag.Int("all", 0, "enumerate up to N distinct solutions (0 = first only)")
+		traces    = flag.Int("traces", 1, "counterexample traces per CEGIS iteration")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psketch [flags] file.psk")
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := psketch.Options{
+		IntWidth:           *intWidth,
+		HoleWidth:          *holeWidth,
+		LoopBound:          *loopBound,
+		MaxRepeat:          *maxRepeat,
+		MCMaxStates:        *maxStates,
+		TracesPerIteration: *traces,
+	}
+	if *quadratic {
+		opts.Encoding = psketch.EncodeQuadratic
+	}
+	if *verbose {
+		opts.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	tgt := *target
+	if tgt == "" {
+		tgt, err = autodetectTarget(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	sk, err := psketch.Compile(string(src), tgt, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *showCount {
+		fmt.Printf("|C| = %s\n", sk.CandidateCount())
+		return
+	}
+	if *all > 0 {
+		rs, err := sk.Enumerate(*all)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(rs) == 0 {
+			fmt.Println("NO — the sketch cannot be resolved")
+			os.Exit(2)
+		}
+		seen := map[string]bool{}
+		n := 0
+		for _, r := range rs {
+			if seen[r.Code] {
+				continue
+			}
+			seen[r.Code] = true
+			n++
+			fmt.Printf("// ---- solution %d (%d iteration(s)) ----\n\n%s\n", n, r.Stats.Iterations, r.Code)
+		}
+		return
+	}
+	res, err := sk.Synthesize()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !res.Resolved {
+		fmt.Println("NO — the sketch cannot be resolved")
+		os.Exit(2)
+	}
+	fmt.Printf("// resolved in %d iteration(s), %v\n\n", res.Stats.Iterations, res.Stats.Total.Round(1000000))
+	fmt.Print(res.Code)
+}
+
+func autodetectTarget(src string) (string, error) {
+	return psketch.DetectTarget(src)
+}

@@ -1,0 +1,54 @@
+package psketch
+
+import "testing"
+
+// Sequential CEGIS on a one-hole sketch: f(x) = x + ?? implements x+3.
+func TestSequentialTiny(t *testing.T) {
+	src := `
+int spec(int x) { return x + 3; }
+int f(int x) implements spec { return x + ??; }
+`
+	res, err := Synthesize(src, "f", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatal("expected resolution")
+	}
+	t.Logf("iterations=%d code:\n%s", res.Stats.Iterations, res.Code)
+}
+
+// Concurrent CEGIS: two threads must increment a shared counter; the
+// sketch chooses between a racy increment and an atomic one.
+func TestConcurrentTiny(t *testing.T) {
+	src := `
+int counter = 0;
+int choice = 0;
+
+void Incr() {
+	if ({| true | false |}) {
+		atomic { counter = counter + 1; }
+	} else {
+		int t = counter;
+		t = t + 1;
+		counter = t;
+	}
+}
+
+harness void Main() {
+	fork (i; 2) {
+		Incr();
+		Incr();
+	}
+	assert counter == 4;
+}
+`
+	res, err := Synthesize(src, "Main", Options{Verbose: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatal("expected resolution")
+	}
+	t.Logf("iterations=%d code:\n%s", res.Stats.Iterations, res.Code)
+}

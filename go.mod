@@ -1,0 +1,3 @@
+module psketch
+
+go 1.22

@@ -1,0 +1,258 @@
+package ast
+
+import (
+	"testing"
+
+	"psketch/internal/token"
+)
+
+// buildStmt makes a statement containing a hole, a generator and a
+// nested structure for clone tests.
+func buildStmt() (*Block, *Hole, *Regen) {
+	h := &Hole{Width: 3, ID: 7}
+	r := &Regen{Text: "a | b", ID: 8, Choices: []Expr{
+		&Ident{Name: "a"}, &Ident{Name: "b"},
+	}}
+	blk := &Block{Stmts: []Stmt{
+		&AssignStmt{LHS: &Ident{Name: "x"}, RHS: h},
+		&IfStmt{
+			Cond: &Binary{Op: token.EQ, X: r, Y: &IntLit{Val: 1}},
+			Then: &Block{Stmts: []Stmt{
+				&AssignStmt{LHS: &Ident{Name: "x"}, RHS: h}, // same hole twice
+			}},
+		},
+	}}
+	return blk, h, r
+}
+
+func collect(b *Block) (holes []*Hole, regens []*Regen) {
+	WalkExprs(b, func(e Expr) {
+		switch x := e.(type) {
+		case *Hole:
+			holes = append(holes, x)
+		case *Regen:
+			regens = append(regens, x)
+		}
+	})
+	return
+}
+
+func TestCloneShareKeepsIDs(t *testing.T) {
+	blk, _, _ := buildStmt()
+	c := NewCloner(CloneShare).Block(blk)
+	holes, regens := collect(c)
+	if len(holes) != 2 || holes[0].ID != 7 || holes[1].ID != 7 {
+		t.Fatalf("holes %v", holes)
+	}
+	if holes[0] != holes[1] {
+		t.Fatal("shared hole node must stay one node within a clone")
+	}
+	if len(regens) != 1 || regens[0].ID != 8 {
+		t.Fatalf("regens %v", regens)
+	}
+	// The clone must be a different node tree.
+	origHoles, _ := collect(blk)
+	if origHoles[0] == holes[0] {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestCloneFreshResetsIDs(t *testing.T) {
+	blk, _, _ := buildStmt()
+	c := NewCloner(CloneFresh).Block(blk)
+	holes, regens := collect(c)
+	if holes[0].ID != -1 || regens[0].ID != -1 {
+		t.Fatal("fresh clone must reset IDs")
+	}
+	if holes[0] != holes[1] {
+		t.Fatal("same-ID nodes must unify under a fresh clone")
+	}
+}
+
+// Two share-mode clones must NOT unify distinct nodes that happen to
+// carry the same ID when cloned separately (the multi-inline-site
+// regression: their choice operands differ after renaming).
+func TestCloneShareDistinctNodesStayDistinct(t *testing.T) {
+	r1 := &Regen{Text: "g", ID: 3, Choices: []Expr{&Ident{Name: "x_site1"}}}
+	r2 := &Regen{Text: "g", ID: 3, Choices: []Expr{&Ident{Name: "x_site2"}}}
+	blk := &Block{Stmts: []Stmt{
+		&AssignStmt{LHS: &Ident{Name: "a"}, RHS: r1},
+		&AssignStmt{LHS: &Ident{Name: "b"}, RHS: r2},
+	}}
+	c := NewCloner(CloneShare).Block(blk)
+	_, regens := collect(c)
+	if len(regens) != 2 {
+		t.Fatalf("regens %d", len(regens))
+	}
+	if regens[0] == regens[1] {
+		t.Fatal("share clone wrongly unified same-ID nodes")
+	}
+	if regens[0].Choices[0].(*Ident).Name == regens[1].Choices[0].(*Ident).Name {
+		t.Fatal("choice operands merged")
+	}
+}
+
+func TestCloneDeepIndependence(t *testing.T) {
+	blk, h, _ := buildStmt()
+	c := NewCloner(CloneShare).Block(blk)
+	h.Width = 99
+	holes, _ := collect(c)
+	if holes[0].Width == 99 {
+		t.Fatal("clone shares hole storage with original")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	// Parents before children.
+	e := &Binary{Op: token.ADD, X: &Ident{Name: "a"}, Y: &Unary{Op: token.SUB, X: &Ident{Name: "b"}}}
+	var order []string
+	WalkExpr(e, func(x Expr) {
+		switch n := x.(type) {
+		case *Binary:
+			order = append(order, "+")
+		case *Unary:
+			order = append(order, "-")
+		case *Ident:
+			order = append(order, n.Name)
+		}
+	})
+	want := "+ a - b"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += " "
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order %q", got)
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := &Program{
+		Structs: []*StructDecl{{Name: "S"}},
+		Funcs:   []*FuncDecl{{Name: "f"}},
+	}
+	if p.Struct("S") == nil || p.Struct("T") != nil {
+		t.Fatal("Struct lookup")
+	}
+	if p.Func("f") == nil || p.Func("g") != nil {
+		t.Fatal("Func lookup")
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	if (&TypeExpr{Name: "int", ArrayLen: 16}).String() != "int[16]" {
+		t.Fatal("array type string")
+	}
+	if (&TypeExpr{Name: "Node"}).String() != "Node" {
+		t.Fatal("scalar type string")
+	}
+	var nilT *TypeExpr
+	if nilT.String() != "void" {
+		t.Fatal("nil type string")
+	}
+}
+
+// cloneEverything builds one statement of every kind and clones it in
+// both modes, checking structural equality via the walker.
+func TestCloneAllStatementKinds(t *testing.T) {
+	mk := func() *Block {
+		return &Block{Stmts: []Stmt{
+			&DeclStmt{Type: &TypeExpr{Name: "int"}, Name: "x", Init: &IntLit{Val: 1}},
+			&AssignStmt{LHS: &Ident{Name: "x"}, RHS: &Binary{Op: token.ADD, X: &Ident{Name: "x"}, Y: &IntLit{Val: 2}}},
+			&IfStmt{Cond: &BoolLit{Val: true}, Then: &Block{}, Else: &Block{}},
+			&WhileStmt{Cond: &Unary{Op: token.NOT, X: &BoolLit{}}, Body: &Block{}},
+			&ReturnStmt{Val: &NullLit{}},
+			&AssertStmt{Cond: &Binary{Op: token.EQ, X: &Ident{Name: "x"}, Y: &IntLit{Val: 3}}},
+			&AtomicStmt{Cond: &BoolLit{Val: true}, Body: &Block{}},
+			&ForkStmt{Var: "i", N: &IntLit{Val: 2}, Body: &Block{}},
+			&ReorderStmt{Body: &Block{Stmts: []Stmt{
+				&ExprStmt{X: &CallExpr{Fun: "AtomicSwap", Args: []Expr{&Ident{Name: "x"}, &IntLit{Val: 0}}}},
+			}}},
+			&RepeatStmt{Count: &Hole{ID: -1}, Body: &Block{}},
+			&LockStmt{Target: &FieldExpr{X: &Ident{Name: "n"}, Name: "next"}},
+			&ExprStmt{X: &CastExpr{Type: &TypeExpr{Name: "int"}, X: &SliceExpr{X: &Ident{Name: "b"}, Start: &IntLit{Val: 0}, Len: 2}}},
+			&AssignStmt{LHS: &IndexExpr{X: &Ident{Name: "a"}, Index: &IntLit{Val: 1}}, RHS: &NewExpr{Type: "N", Site: 5}},
+			&AssignStmt{LHS: &Ident{Name: "s"}, RHS: &BitsLit{Text: "101"}},
+		}}
+	}
+	shape := func(b *Block) []string {
+		var out []string
+		WalkExprs(b, func(e Expr) {
+			out = append(out, typeNameOf(e))
+		})
+		return out
+	}
+	orig := mk()
+	for _, mode := range []CloneMode{CloneShare, CloneFresh} {
+		c := NewCloner(mode).Block(orig)
+		a, b := shape(orig), shape(c)
+		if len(a) != len(b) {
+			t.Fatalf("mode %v: walk lengths differ: %d vs %d", mode, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mode %v: node %d: %s vs %s", mode, i, a[i], b[i])
+			}
+		}
+	}
+	// Fresh clone resets alloc sites.
+	c := NewCloner(CloneFresh).Block(orig)
+	WalkExprs(c, func(e Expr) {
+		if n, ok := e.(*NewExpr); ok && n.Site != -1 {
+			t.Fatal("fresh clone kept an allocation site")
+		}
+	})
+}
+
+func typeNameOf(e Expr) string {
+	switch e.(type) {
+	case *Ident:
+		return "Ident"
+	case *IntLit:
+		return "IntLit"
+	case *BoolLit:
+		return "BoolLit"
+	case *NullLit:
+		return "NullLit"
+	case *BitsLit:
+		return "BitsLit"
+	case *Hole:
+		return "Hole"
+	case *Regen:
+		return "Regen"
+	case *Unary:
+		return "Unary"
+	case *Binary:
+		return "Binary"
+	case *FieldExpr:
+		return "FieldExpr"
+	case *IndexExpr:
+		return "IndexExpr"
+	case *SliceExpr:
+		return "SliceExpr"
+	case *CallExpr:
+		return "CallExpr"
+	case *CastExpr:
+		return "CastExpr"
+	case *NewExpr:
+		return "NewExpr"
+	}
+	return "?"
+}
+
+func TestConvenienceClones(t *testing.T) {
+	h := &Hole{ID: 3}
+	if CloneExpr(h).(*Hole).ID != -1 {
+		t.Fatal("CloneExpr must be fresh")
+	}
+	s := CloneStmt(&AssertStmt{Cond: &BoolLit{Val: true}})
+	if _, ok := s.(*AssertStmt); !ok {
+		t.Fatal("CloneStmt kind")
+	}
+	if CloneBlock(nil) != nil {
+		t.Fatal("nil block clone")
+	}
+}

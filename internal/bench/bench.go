@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+	"time"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/parser"
+	"psketch/internal/sketches"
+)
+
+// Row is one measured Figure 9 row.
+type Row struct {
+	Bench, Test string
+	Resolved    bool
+	Expected    bool
+	Itns        int
+	Total       time.Duration
+	SSolve      time.Duration
+	SModel      time.Duration
+	VSolve      time.Duration
+	VModel      time.Duration
+	MemMiB      float64
+	MCStates    int
+	LogC        float64
+	Err         error
+}
+
+// Options configure a benchmark sweep.
+type Options struct {
+	// Filter restricts benchmarks by name substring ("" = all).
+	Filter string
+	// Timeout bounds each test's synthesis run (0 = none).
+	Timeout time.Duration
+	// MCMaxStates overrides the verifier budget (0 = default; the
+	// dinphilo N=5 row needs ~60M, like the paper's 746 s SPIN run).
+	MCMaxStates int
+	// Verbose streams per-iteration progress.
+	Verbose func(format string, args ...any)
+	// IncludeExtras adds the extension benchmarks (beyond Table 1) to
+	// the sweep.
+	IncludeExtras bool
+	// TracesPerIteration forwards the multi-trace learning extension
+	// (default 1 = the paper's single-counterexample loop).
+	TracesPerIteration int
+}
+
+// logBig computes log10 of a big integer.
+func logBig(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		return 0
+	}
+	m := new(big.Float)
+	exp := new(big.Float).SetInt(x).MantExp(m)
+	mf, _ := m.Float64()
+	return math.Log10(mf) + float64(exp)*math.Log10(2)
+}
+
+// RunOne compiles and synthesizes one benchmark/test pair.
+func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
+	row := Row{Bench: b.Name, Test: test, Expected: b.Resolvable[test]}
+	src, err := b.Source(test)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	sk, err := desugar.Desugar(prog, "Main", b.Opts(test))
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.LogC = logBig(sk.Count)
+
+	maxStates := opts.MCMaxStates
+	if b.Name == "dinphilo" && strings.HasPrefix(test, "N=5") && maxStates == 0 {
+		maxStates = 60_000_000
+	}
+	syn, err := core.New(sk, core.Options{
+		MCMaxStates:        maxStates,
+		Verbose:            opts.Verbose,
+		TracesPerIteration: opts.TracesPerIteration,
+	})
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := syn.Synthesize()
+		ch <- outcome{r, e}
+	}()
+	var res *core.Result
+	if opts.Timeout > 0 {
+		select {
+		case o := <-ch:
+			res, err = o.res, o.err
+		case <-time.After(opts.Timeout):
+			row.Err = fmt.Errorf("timeout after %v", opts.Timeout)
+			return row
+		}
+	} else {
+		o := <-ch
+		res, err = o.res, o.err
+	}
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Resolved = res.Resolved
+	row.Itns = res.Stats.Iterations
+	row.Total = res.Stats.Total
+	row.SSolve = res.Stats.SSolve
+	row.SModel = res.Stats.SModel
+	row.VSolve = res.Stats.VSolve
+	row.VModel = res.Stats.VModel
+	row.MemMiB = float64(res.Stats.MaxHeap) / (1 << 20)
+	row.MCStates = res.Stats.MCStates
+	return row
+}
+
+// RunFig9 sweeps the Figure 9 grid and prints measured-vs-paper rows.
+func RunFig9(w io.Writer, opts Options) []Row {
+	var rows []Row
+	fmt.Fprintf(w, "%-9s %-14s | %-5s %4s %9s %8s %8s %8s %8s %7s | %-5s %4s %9s\n",
+		"bench", "test", "res", "itns", "total", "Ssolve", "Smodel", "Vsolve", "Vmodel", "MiB",
+		"paper", "itns", "total")
+	fmt.Fprintln(w, strings.Repeat("-", 130))
+	grid := sketches.All()
+	if opts.IncludeExtras {
+		grid = append(grid, sketches.Extras()...)
+	}
+	for _, b := range grid {
+		if opts.Filter != "" && !strings.Contains(b.Name, opts.Filter) {
+			continue
+		}
+		for _, test := range b.Tests {
+			row := RunOne(b, test, opts)
+			rows = append(rows, row)
+			pr, hasPaper := PaperRowFor(b.Name, test)
+			pres, pit, ptot := "-", "-", "-"
+			if hasPaper {
+				pres = yesno(pr.Resolvable)
+				pit = fmt.Sprintf("%d", pr.Itns)
+				ptot = fmt.Sprintf("%.1fs", pr.TotalSec)
+			}
+			if row.Err != nil {
+				fmt.Fprintf(w, "%-9s %-14s | ERROR: %v\n", row.Bench, row.Test, row.Err)
+				continue
+			}
+			fmt.Fprintf(w, "%-9s %-14s | %-5s %4d %9s %8s %8s %8s %8s %7.1f | %-5s %4s %9s\n",
+				row.Bench, row.Test, yesno(row.Resolved), row.Itns,
+				short(row.Total), short(row.SSolve), short(row.SModel),
+				short(row.VSolve), short(row.VModel), row.MemMiB,
+				pres, pit, ptot)
+		}
+	}
+	return rows
+}
+
+// Table1 prints the candidate-space table next to the paper's.
+func Table1(w io.Writer) error {
+	fmt.Fprintf(w, "%-9s %-14s %22s %10s %10s\n", "sketch", "test", "|C|", "log10|C|", "paper")
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+	for _, b := range sketches.All() {
+		test := b.Tests[0]
+		src, err := b.Source(test)
+		if err != nil {
+			return err
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		sk, err := desugar.Desugar(prog, "Main", b.Opts(test))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-9s %-14s %22s %10.1f %9.1f\n",
+			b.Name, test, sk.Count.String(), logBig(sk.Count), PaperTable1[b.Name])
+	}
+	return nil
+}
+
+// Fig10 prints the log|C|-vs-iterations series (the paper observed an
+// approximately linear correlation).
+func Fig10(w io.Writer, rows []Row) {
+	type pt struct {
+		logC float64
+		itns int
+		name string
+	}
+	var pts []pt
+	for _, r := range rows {
+		if r.Err == nil && r.Resolved {
+			pts = append(pts, pt{r.LogC, r.Itns, r.Bench + "/" + r.Test})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].logC < pts[j].logC })
+	fmt.Fprintf(w, "%-26s %9s %6s\n", "test", "log10|C|", "itns")
+	fmt.Fprintln(w, strings.Repeat("-", 45))
+	for _, p := range pts {
+		bar := strings.Repeat("*", p.itns)
+		fmt.Fprintf(w, "%-26s %9.1f %6d %s\n", p.name, p.logC, p.itns, bar)
+	}
+	// Least-squares slope as the trend indicator.
+	if len(pts) >= 2 {
+		var sx, sy, sxx, sxy float64
+		for _, p := range pts {
+			x, y := p.logC, float64(p.itns)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
+		n := float64(len(pts))
+		den := n*sxx - sx*sx
+		if den != 0 {
+			slope := (n*sxy - sx*sy) / den
+			fmt.Fprintf(w, "\nleast-squares slope: %.2f iterations per decade of |C| (paper: positive, ~linear)\n", slope)
+		}
+	}
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+func short(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

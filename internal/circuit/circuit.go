@@ -1,0 +1,445 @@
+// Package circuit builds and-inverter graphs (AIGs) with structural
+// hashing, plus bit-vector word operations on top. The symbolic
+// evaluator encodes `fail(Skt[c])` as a single literal over hole-bit
+// inputs (§6); Tseitin conversion then feeds the CDCL solver, with a
+// persistent node→variable map so the CEGIS loop can keep one
+// incremental SAT instance across iterations.
+package circuit
+
+import (
+	"fmt"
+
+	"psketch/internal/sat"
+)
+
+// Lit is a literal over AIG nodes: node id << 1 | sign bit.
+// Node 0 is the constant true, so True = 0 and False = 1.
+type Lit int32
+
+// The boolean constants.
+const (
+	True  Lit = 0
+	False Lit = 1
+)
+
+// Not complements the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) node() int32 { return int32(l) >> 1 }
+func (l Lit) neg() bool   { return l&1 == 1 }
+
+// IsConst reports whether the literal is a constant, returning its
+// value.
+func (l Lit) IsConst() (bool, bool) {
+	if l.node() == 0 {
+		return true, !l.neg()
+	}
+	return false, false
+}
+
+type node struct {
+	a, b Lit // a == b == -1 for inputs; node 0 is the constant
+}
+
+// Builder constructs a hash-consed AIG.
+type Builder struct {
+	nodes []node
+	hash  map[[2]Lit]Lit
+	// inputs records which nodes are inputs (for Eval).
+	isInput []bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	b := &Builder{hash: map[[2]Lit]Lit{}}
+	b.nodes = append(b.nodes, node{}) // constant node 0
+	b.isInput = append(b.isInput, false)
+	return b
+}
+
+// NumNodes returns the number of AIG nodes (including the constant).
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Input allocates a fresh input node.
+func (b *Builder) Input() Lit {
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, node{a: -1, b: -1})
+	b.isInput = append(b.isInput, true)
+	return Lit(id << 1)
+}
+
+// Const returns the constant literal for v.
+func Const(v bool) Lit {
+	if v {
+		return True
+	}
+	return False
+}
+
+// And builds a ∧ b with constant folding and structural hashing.
+func (b *Builder) And(x, y Lit) Lit {
+	switch {
+	case x == False || y == False:
+		return False
+	case x == True:
+		return y
+	case y == True:
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return False
+	}
+	if x > y {
+		x, y = y, x
+	}
+	key := [2]Lit{x, y}
+	if l, ok := b.hash[key]; ok {
+		return l
+	}
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, node{a: x, b: y})
+	b.isInput = append(b.isInput, false)
+	l := Lit(id << 1)
+	b.hash[key] = l
+	return l
+}
+
+// Or builds x ∨ y.
+func (b *Builder) Or(x, y Lit) Lit { return b.And(x.Not(), y.Not()).Not() }
+
+// Xor builds x ⊕ y.
+func (b *Builder) Xor(x, y Lit) Lit {
+	return b.Or(b.And(x, y.Not()), b.And(x.Not(), y))
+}
+
+// Eq builds x ↔ y.
+func (b *Builder) Eq(x, y Lit) Lit { return b.Xor(x, y).Not() }
+
+// Mux builds if c then t else f.
+func (b *Builder) Mux(c, t, f Lit) Lit {
+	if t == f {
+		return t
+	}
+	return b.Or(b.And(c, t), b.And(c.Not(), f))
+}
+
+// Implies builds x → y.
+func (b *Builder) Implies(x, y Lit) Lit { return b.Or(x.Not(), y) }
+
+// AndN folds a conjunction.
+func (b *Builder) AndN(ls ...Lit) Lit {
+	acc := True
+	for _, l := range ls {
+		acc = b.And(acc, l)
+	}
+	return acc
+}
+
+// OrN folds a disjunction.
+func (b *Builder) OrN(ls ...Lit) Lit {
+	acc := False
+	for _, l := range ls {
+		acc = b.Or(acc, l)
+	}
+	return acc
+}
+
+// Eval computes the value of l under an input assignment.
+func (b *Builder) Eval(inputs map[Lit]bool, l Lit) bool {
+	memo := make(map[int32]bool)
+	var rec func(n int32) bool
+	rec = func(n int32) bool {
+		if n == 0 {
+			return true
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		nd := b.nodes[n]
+		var v bool
+		if b.isInput[n] {
+			v = inputs[Lit(n<<1)]
+		} else {
+			av := rec(nd.a.node()) != nd.a.neg()
+			bv := rec(nd.b.node()) != nd.b.neg()
+			v = av && bv
+		}
+		memo[n] = v
+		return v
+	}
+	return rec(l.node()) != l.neg()
+}
+
+// VarMap persists the AIG-node → SAT-variable mapping across
+// incremental encodings.
+type VarMap struct {
+	vars []int // node id -> sat var + 1 (0 = unmapped)
+}
+
+// NewVarMap returns an empty mapping.
+func NewVarMap() *VarMap { return &VarMap{} }
+
+func (m *VarMap) get(n int32) (int, bool) {
+	if int(n) < len(m.vars) && m.vars[n] != 0 {
+		return m.vars[n] - 1, true
+	}
+	return 0, false
+}
+
+func (m *VarMap) set(n int32, v int) {
+	for int(n) >= len(m.vars) {
+		m.vars = append(m.vars, 0)
+	}
+	m.vars[n] = v + 1
+}
+
+// ToSAT Tseitin-encodes the cone of l into the solver, reusing
+// previously encoded nodes, and returns the SAT literal for l.
+func (b *Builder) ToSAT(s *sat.Solver, m *VarMap, l Lit) sat.Lit {
+	var rec func(n int32) int
+	rec = func(n int32) int {
+		if v, ok := m.get(n); ok {
+			return v
+		}
+		v := s.NewVar()
+		m.set(n, v)
+		if n == 0 {
+			s.AddClause(sat.MkLit(v, false)) // constant true
+			return v
+		}
+		nd := b.nodes[n]
+		if b.isInput[n] {
+			return v
+		}
+		av := rec(nd.a.node())
+		bv := rec(nd.b.node())
+		la := sat.MkLit(av, nd.a.neg())
+		lb := sat.MkLit(bv, nd.b.neg())
+		ln := sat.MkLit(v, false)
+		// n ↔ (a ∧ b)
+		s.AddClause(ln.Not(), la)
+		s.AddClause(ln.Not(), lb)
+		s.AddClause(la.Not(), lb.Not(), ln)
+		return v
+	}
+	v := rec(l.node())
+	return sat.MkLit(v, l.neg())
+}
+
+// SATVar returns the SAT variable assigned to an input literal,
+// allocating it if needed (used to read hole values out of a model).
+func (b *Builder) SATVar(s *sat.Solver, m *VarMap, in Lit) int {
+	if in.neg() {
+		panic("circuit: SATVar on negated literal")
+	}
+	if v, ok := m.get(in.node()); ok {
+		return v
+	}
+	v := s.NewVar()
+	m.set(in.node(), v)
+	return v
+}
+
+// ------------------------------------------------------------- words
+
+// Word is a little-endian bit vector (bit 0 = LSB).
+type Word []Lit
+
+// ConstW builds a w-bit constant word.
+func ConstW(w int, v int64) Word {
+	out := make(Word, w)
+	for i := 0; i < w; i++ {
+		if (v>>uint(i))&1 == 1 {
+			out[i] = True
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// ConstVal extracts the constant value of a word if fully constant
+// (sign-extended).
+func ConstVal(x Word) (int64, bool) {
+	v := int64(0)
+	for i, l := range x {
+		c, bit := l.IsConst()
+		if !c {
+			return 0, false
+		}
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	w := uint(len(x))
+	if w < 64 && v >= int64(1)<<(w-1) {
+		v -= int64(1) << w
+	}
+	return v, true
+}
+
+// InputW allocates a word of fresh inputs.
+func (b *Builder) InputW(w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		out[i] = b.Input()
+	}
+	return out
+}
+
+// ZextW zero-extends or truncates to w bits.
+func ZextW(x Word, w int) Word {
+	out := make(Word, w)
+	for i := 0; i < w; i++ {
+		if i < len(x) {
+			out[i] = x[i]
+		} else {
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// SextW sign-extends or truncates to w bits.
+func SextW(x Word, w int) Word {
+	out := make(Word, w)
+	for i := 0; i < w; i++ {
+		switch {
+		case i < len(x):
+			out[i] = x[i]
+		case len(x) > 0:
+			out[i] = x[len(x)-1]
+		default:
+			out[i] = False
+		}
+	}
+	return out
+}
+
+// AddW builds x + y (same width, wrapping).
+func (b *Builder) AddW(x, y Word) Word {
+	out := make(Word, len(x))
+	carry := False
+	for i := range x {
+		s := b.Xor(b.Xor(x[i], y[i]), carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(carry, b.Xor(x[i], y[i])))
+		out[i] = s
+	}
+	return out
+}
+
+// NegW builds two's-complement negation.
+func (b *Builder) NegW(x Word) Word {
+	inv := make(Word, len(x))
+	for i := range x {
+		inv[i] = x[i].Not()
+	}
+	return b.AddW(inv, ConstW(len(x), 1))
+}
+
+// SubW builds x - y.
+func (b *Builder) SubW(x, y Word) Word { return b.AddW(x, b.NegW(y)) }
+
+// MulW builds x * y (wrapping shift-and-add).
+func (b *Builder) MulW(x, y Word) Word {
+	w := len(x)
+	acc := ConstW(w, 0)
+	for i := 0; i < w; i++ {
+		shifted := make(Word, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				shifted[j] = False
+			} else {
+				shifted[j] = b.And(x[j-i], y[i])
+			}
+		}
+		acc = b.AddW(acc, shifted)
+	}
+	return acc
+}
+
+// EqW builds x == y.
+func (b *Builder) EqW(x, y Word) Lit {
+	acc := True
+	for i := range x {
+		acc = b.And(acc, b.Eq(x[i], y[i]))
+	}
+	return acc
+}
+
+// LtS builds the signed comparison x < y.
+func (b *Builder) LtS(x, y Word) Lit {
+	w := len(x)
+	// x < y  ⇔  (sx ∧ ¬sy) ∨ (sx ↔ sy) ∧ unsigned_lt(x, y)
+	sx, sy := x[w-1], y[w-1]
+	lt := False
+	for i := 0; i < w-1; i++ {
+		lt = b.Mux(b.Xor(x[i], y[i]), b.And(x[i].Not(), y[i]), lt)
+	}
+	sameSign := b.Eq(sx, sy)
+	return b.Or(b.And(sx, sy.Not()), b.And(sameSign, lt))
+}
+
+// MuxW builds if c then t else f, element-wise.
+func (b *Builder) MuxW(c Lit, t, f Word) Word {
+	out := make(Word, len(t))
+	for i := range t {
+		out[i] = b.Mux(c, t[i], f[i])
+	}
+	return out
+}
+
+// DivModU builds the unsigned restoring division x / y and x % y.
+// The caller must handle y == 0 separately (results are unspecified).
+func (b *Builder) DivModU(x, y Word) (q, r Word) {
+	w := len(x)
+	q = ConstW(w, 0)
+	r = ConstW(w, 0)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		nr := make(Word, w)
+		nr[0] = x[i]
+		for j := 1; j < w; j++ {
+			nr[j] = r[j-1]
+		}
+		r = nr
+		// if r >= y { r -= y; q[i] = 1 }
+		ge := b.geU(r, y)
+		r = b.MuxW(ge, b.SubW(r, y), r)
+		q[i] = ge
+	}
+	return q, r
+}
+
+// geU builds the unsigned comparison x >= y.
+func (b *Builder) geU(x, y Word) Lit {
+	ge := True
+	for i := 0; i < len(x); i++ {
+		ge = b.Mux(b.Xor(x[i], y[i]), b.And(x[i], y[i].Not()), ge)
+	}
+	return ge
+}
+
+// IsZeroW builds x == 0.
+func (b *Builder) IsZeroW(x Word) Lit {
+	any := False
+	for _, l := range x {
+		any = b.Or(any, l)
+	}
+	return any.Not()
+}
+
+// String renders a literal for debugging.
+func (l Lit) String() string {
+	if l == True {
+		return "T"
+	}
+	if l == False {
+		return "F"
+	}
+	if l.neg() {
+		return fmt.Sprintf("!n%d", l.node())
+	}
+	return fmt.Sprintf("n%d", l.node())
+}

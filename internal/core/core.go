@@ -1,0 +1,522 @@
+// Package core contains the paper's primary contribution: the
+// counterexample-guided inductive synthesis (CEGIS) engines. The
+// sequential engine (§5) learns from counterexample inputs; the
+// concurrent engine (§6) learns from counterexample traces projected
+// onto the candidate space.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"psketch/internal/circuit"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/project"
+	"psketch/internal/sat"
+	"psketch/internal/state"
+	"psketch/internal/sym"
+	"psketch/internal/types"
+)
+
+// Options configure synthesis.
+type Options struct {
+	// MaxIterations bounds the CEGIS loop (default 256).
+	MaxIterations int
+	// MCMaxStates bounds the model checker (default 4,000,000).
+	MCMaxStates int
+	// TracesPerIteration asks the verifier for several counterexample
+	// traces per CEGIS iteration (default 1, the paper's behaviour);
+	// each is projected into its own inductive constraint.
+	TracesPerIteration int
+	// Verbose, when set, receives progress lines.
+	Verbose func(format string, args ...any)
+	// WatchCandidate, when non-nil, is checked against every learned
+	// constraint; if a projection claims this candidate fails, the
+	// synthesizer reports it via Verbose (soundness debugging).
+	WatchCandidate desugar.Candidate
+}
+
+func (o Options) defaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 256
+	}
+	if o.Verbose == nil {
+		o.Verbose = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats mirrors the Figure 9 columns: per-phase solver and model-build
+// times, iteration count, and memory.
+type Stats struct {
+	Iterations int
+	SSolve     time.Duration // synthesizer SAT time
+	SModel     time.Duration // synthesizer encoding time (projection + Tseitin)
+	VSolve     time.Duration // verifier search time (model checking / SAT)
+	VModel     time.Duration // verifier model-build time (lowering/layout)
+	Total      time.Duration
+	SATVars    int
+	SATClauses int
+	SATConfl   int64
+	MCStates   int
+	MaxHeap    uint64 // peak observed heap, bytes
+}
+
+// Result is the synthesis outcome.
+type Result struct {
+	Resolved  bool
+	Candidate desugar.Candidate
+	Stats     Stats
+	// LastTrace holds the final counterexample for unresolvable
+	// sketches (nil otherwise).
+	LastTrace *mc.Trace
+}
+
+// Synthesizer runs CEGIS for one lowered sketch.
+type Synthesizer struct {
+	Sk     *desugar.Sketch
+	Prog   *ir.Program
+	Layout *state.Layout
+	opts   Options
+
+	b        *circuit.Builder
+	holes    []circuit.Word
+	solver   *sat.Solver
+	vmap     *circuit.VarMap
+	holeVars [][]int
+
+	stats Stats
+}
+
+// New prepares a synthesizer: lowering, layout, hole inputs, and the
+// structural constraints of the candidate space.
+func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
+	opts = opts.defaults()
+	s := &Synthesizer{Sk: sk, opts: opts}
+
+	t0 := time.Now()
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		return nil, err
+	}
+	s.Prog, s.Layout = prog, layout
+	s.stats.VModel += time.Since(t0)
+
+	t0 = time.Now()
+	s.b = circuit.NewBuilder()
+	s.holes = sym.HoleInputs(s.b, sk)
+	s.solver = sat.New()
+	s.vmap = circuit.NewVarMap()
+	s.holeVars = make([][]int, len(sk.Holes))
+	for i, w := range s.holes {
+		vars := make([]int, len(w))
+		for j, in := range w {
+			vars[j] = s.b.SATVar(s.solver, s.vmap, in)
+		}
+		s.holeVars[i] = vars
+	}
+
+	// Structural constraints: reorder permutations, repeat bounds, and
+	// generator index ranges.
+	ev := sym.New(s.b, layout, s.holes)
+	for ci, c := range sk.Constraints {
+		lit := ev.EvalConstraint(c)
+		if opts.WatchCandidate != nil && !s.b.Eval(s.inputAssignment(opts.WatchCandidate), lit) {
+			opts.Verbose("WATCH: structural constraint %d (%s) is false on the watched candidate", ci, types.ExprString(c))
+		}
+		s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, lit))
+	}
+	if err := ev.Err(); err != nil {
+		return nil, err
+	}
+	for i, m := range sk.Holes {
+		if m.Kind != desugar.HoleChoice {
+			continue
+		}
+		valid := circuit.False
+		for k := 0; k < m.Choices; k++ {
+			valid = s.b.Or(valid, s.b.EqW(s.holes[i], circuit.ConstW(m.Bits, int64(k))))
+		}
+		if opts.WatchCandidate != nil && !s.b.Eval(s.inputAssignment(opts.WatchCandidate), valid) {
+			opts.Verbose("WATCH: choice-range constraint for hole %d is false on the watched candidate", i)
+		}
+		s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, valid))
+	}
+	s.stats.SModel += time.Since(t0)
+	if opts.WatchCandidate != nil {
+		var assume []sat.Lit
+		for i, vars := range s.holeVars {
+			for j, sv := range vars {
+				bit := (opts.WatchCandidate.Value(i)>>uint(j))&1 == 1
+				assume = append(assume, sat.MkLit(sv, !bit))
+			}
+		}
+		if !s.solver.Solve(assume...) {
+			opts.Verbose("WATCH: initial structural constraints already contradict the watched candidate")
+		} else {
+			opts.Verbose("WATCH: initial constraints admit the watched candidate")
+		}
+	}
+	return s, nil
+}
+
+func (s *Synthesizer) sampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.stats.MaxHeap {
+		s.stats.MaxHeap = ms.HeapAlloc
+	}
+}
+
+// nextCandidate asks the SAT solver for a candidate consistent with all
+// observations so far.
+func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool) {
+	t0 := time.Now()
+	okSat := s.solver.Solve()
+	s.stats.SSolve += time.Since(t0)
+	if !okSat {
+		return nil, false
+	}
+	cand := make(desugar.Candidate, len(s.holeVars))
+	for i, vars := range s.holeVars {
+		v := int64(0)
+		for j, sv := range vars {
+			if s.solver.Value(sv) {
+				v |= 1 << uint(j)
+			}
+		}
+		cand[i] = v
+	}
+	return cand, true
+}
+
+// Synthesize runs the appropriate CEGIS loop.
+func (s *Synthesizer) Synthesize() (*Result, error) {
+	start := time.Now()
+	var res *Result
+	var err error
+	if s.Prog.Concurrent() {
+		res, err = s.synthesizeConcurrent()
+	} else {
+		res, err = s.synthesizeSequential()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.stats.SATVars = s.solver.NumVars()
+	s.stats.SATClauses = s.solver.NumClauses()
+	s.stats.SATConfl = s.solver.Stats.Conflicts
+	s.stats.Total = time.Since(start)
+	res.Stats = s.stats
+	return res, nil
+}
+
+// synthesizeConcurrent is the CEGIS loop of §6: candidates are model
+// checked over all interleavings; failing traces are projected onto the
+// candidate space and added as inductive constraints.
+func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
+	var lastTrace *mc.Trace
+	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
+		s.stats.Iterations = iter
+		cand, ok := s.nextCandidate()
+		if !ok {
+			s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
+			return &Result{Resolved: false, LastTrace: lastTrace}, nil
+		}
+		s.opts.Verbose("iteration %d: model checking candidate %v", iter, cand)
+
+		t0 := time.Now()
+		mres, err := mc.Check(s.Layout, cand, mc.Options{
+			MaxStates: s.opts.MCMaxStates,
+			MaxTraces: s.opts.TracesPerIteration,
+		})
+		s.stats.VSolve += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.MCStates += mres.States
+		s.sampleHeap()
+		if mres.OK {
+			s.opts.Verbose("iteration %d: candidate verified (%d states)", iter, mres.States)
+			return &Result{Resolved: true, Candidate: cand}, nil
+		}
+		lastTrace = mres.Trace
+		s.opts.Verbose("iteration %d: %d counterexample(s): %s", iter, len(mres.Traces), mres.Trace)
+
+		t0 = time.Now()
+		refuted := false
+		for _, tr := range mres.Traces {
+			entries := project.Build(s.Prog, tr)
+			failLit, err := project.Encode(s.b, s.Layout, s.holes, entries)
+			if err != nil {
+				return nil, err
+			}
+			s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, failLit.Not()))
+			if s.b.Eval(s.inputAssignment(cand), failLit) {
+				refuted = true
+			}
+		}
+		s.stats.SModel += time.Since(t0)
+		s.sampleHeap()
+
+		// Guard against projections too weak to eliminate the failing
+		// candidate (would loop forever): exclude it explicitly then.
+		if !refuted {
+			s.opts.Verbose("iteration %d: projection kept the candidate; excluding it directly", iter)
+			s.excludeCandidate(cand)
+		}
+		if s.opts.WatchCandidate != nil {
+			var assume []sat.Lit
+			for i, vars := range s.holeVars {
+				for j, sv := range vars {
+					bit := (s.opts.WatchCandidate.Value(i)>>uint(j))&1 == 1
+					assume = append(assume, sat.MkLit(sv, !bit))
+				}
+			}
+			if !s.solver.Solve(assume...) {
+				s.opts.Verbose("iteration %d: WATCH: clause set now contradicts the watched candidate", iter)
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
+}
+
+// inputAssignment maps the builder's hole input literals to the bits of
+// a concrete candidate.
+func (s *Synthesizer) inputAssignment(cand desugar.Candidate) map[circuit.Lit]bool {
+	m := map[circuit.Lit]bool{}
+	for i, w := range s.holes {
+		for j, in := range w {
+			m[in] = (cand.Value(i)>>uint(j))&1 == 1
+		}
+	}
+	return m
+}
+
+// excludeCandidate adds a blocking clause for one exact candidate.
+func (s *Synthesizer) excludeCandidate(cand desugar.Candidate) {
+	var lits []sat.Lit
+	for i, vars := range s.holeVars {
+		for j, sv := range vars {
+			bit := (cand.Value(i)>>uint(j))&1 == 1
+			lits = append(lits, sat.MkLit(sv, bit))
+		}
+	}
+	s.solver.AddClause(lits...)
+}
+
+// synthesizeSequential is the CEGIS loop of §5: candidates are verified
+// against the spec over all inputs via SAT; counterexample inputs
+// become observations.
+func (s *Synthesizer) synthesizeSequential() (*Result, error) {
+	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
+		s.stats.Iterations = iter
+		cand, ok := s.nextCandidate()
+		if !ok {
+			return &Result{Resolved: false}, nil
+		}
+		s.opts.Verbose("iteration %d: verifying candidate %v", iter, cand)
+
+		cex, verr := s.verifySequential(cand)
+		if verr != nil {
+			return nil, verr
+		}
+		s.sampleHeap()
+		if cex == nil {
+			return &Result{Resolved: true, Candidate: cand}, nil
+		}
+		s.opts.Verbose("iteration %d: counterexample input %v", iter, cex)
+
+		t0 := time.Now()
+		if err := s.addInputObservation(cex); err != nil {
+			return nil, err
+		}
+		s.stats.SModel += time.Since(t0)
+	}
+	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
+}
+
+// inputWidth gives the symbolic width of a sequential input cell.
+func (s *Synthesizer) inputWidth(v ir.Var) (int, error) {
+	switch v.Type.Base {
+	case types.Int:
+		return s.Prog.W, nil
+	case types.Bool:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("core: sequential input %s must be int or bool (got %s)", v.Name, v.Type)
+}
+
+// equivalenceViolation runs the sketch and (if present) the spec
+// symbolically in vb, binding the harness inputs to inputWords
+// (flattened per input variable, one word per array cell), and returns
+// the violation literal: the sketch fails, or — when the spec does not
+// itself fail — the outputs differ.
+func (s *Synthesizer) equivalenceViolation(vb *circuit.Builder, holes []circuit.Word, inputWords [][]circuit.Word) (circuit.Lit, error) {
+	p := s.Prog
+
+	e1 := sym.New(vb, s.Layout, holes)
+	for i, in := range p.Inputs {
+		if err := e1.SetVarCells(p.Prologue, in.Name, inputWords[i]); err != nil {
+			return circuit.False, err
+		}
+	}
+	e1.RunSeq(p.GlobalInit, circuit.True)
+	e1.RunSeq(p.Prologue, circuit.True)
+	if err := e1.Err(); err != nil {
+		return circuit.False, err
+	}
+	violation := e1.Fail
+
+	if p.Spec != nil {
+		e2 := sym.New(vb, s.Layout, holes)
+		for i := range p.Inputs {
+			if err := e2.SetVarCells(p.Spec, p.Spec.Locals[i].Name, inputWords[i]); err != nil {
+				return circuit.False, err
+			}
+		}
+		e2.RunSeq(p.GlobalInit, circuit.True)
+		e2.RunSeq(p.Spec, circuit.True)
+		if err := e2.Err(); err != nil {
+			return circuit.False, err
+		}
+		out1, err := e1.ReadVar(p.Prologue, p.ResultVar)
+		if err != nil {
+			return circuit.False, err
+		}
+		out2, err := e2.ReadVar(p.Spec, p.SpecResultVar)
+		if err != nil {
+			return circuit.False, err
+		}
+		if len(out1) != len(out2) {
+			return circuit.False, fmt.Errorf("core: result arity mismatch")
+		}
+		differ := circuit.False
+		for i := range out1 {
+			w := len(out1[i])
+			if len(out2[i]) > w {
+				w = len(out2[i])
+			}
+			eq := vb.EqW(circuit.ZextW(out1[i], w), circuit.ZextW(out2[i], w))
+			differ = vb.Or(differ, eq.Not())
+		}
+		violation = vb.Or(violation, vb.And(e2.Fail.Not(), differ))
+	}
+	return violation, nil
+}
+
+// verifySequential checks one candidate against the spec on all inputs
+// by SAT-solving for a violating input in a fresh instance.
+func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error) {
+	t0 := time.Now()
+	vb := circuit.NewBuilder()
+	holeConsts := sym.HoleConsts(s.Sk, cand)
+
+	inputWords := make([][]circuit.Word, len(s.Prog.Inputs))
+	for i, in := range s.Prog.Inputs {
+		w, err := s.inputWidth(in)
+		if err != nil {
+			return nil, err
+		}
+		n := 1
+		if in.Type.IsArray() {
+			n = in.Type.Len
+		}
+		ws := make([]circuit.Word, n)
+		for c := 0; c < n; c++ {
+			ws[c] = vb.InputW(w)
+		}
+		inputWords[i] = ws
+	}
+
+	violation, err := s.equivalenceViolation(vb, holeConsts, inputWords)
+	if err != nil {
+		return nil, err
+	}
+	vs := sat.New()
+	vm := circuit.NewVarMap()
+	goal := vb.ToSAT(vs, vm, violation)
+	vs.AddClause(goal)
+	s.stats.VModel += time.Since(t0)
+
+	t0 = time.Now()
+	found := vs.Solve()
+	s.stats.VSolve += time.Since(t0)
+	if !found {
+		return nil, nil // verified on all inputs
+	}
+	cex := make([][]int64, len(inputWords))
+	for i, ws := range inputWords {
+		vals := make([]int64, len(ws))
+		for c, word := range ws {
+			v := int64(0)
+			for j, in := range word {
+				sv := vb.SATVar(vs, vm, in)
+				if vs.Value(sv) {
+					v |= 1 << uint(j)
+				}
+			}
+			vals[c] = v
+		}
+		cex[i] = vals
+	}
+	return cex, nil
+}
+
+// addInputObservation adds P(x, c) for a concrete counterexample input
+// to the incremental synthesis instance (§5: the universal quantifier
+// over the observation set unrolls into a conjunction).
+func (s *Synthesizer) addInputObservation(cex [][]int64) error {
+	inputWords := make([][]circuit.Word, len(cex))
+	for i, vals := range cex {
+		w, err := s.inputWidth(s.Prog.Inputs[i])
+		if err != nil {
+			return err
+		}
+		ws := make([]circuit.Word, len(vals))
+		for c, v := range vals {
+			ws[c] = circuit.ConstW(w, v)
+		}
+		inputWords[i] = ws
+	}
+	violation, err := s.equivalenceViolation(s.b, s.holes, inputWords)
+	if err != nil {
+		return err
+	}
+	s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, violation.Not()))
+	return nil
+}
+
+// Exclude adds a blocking clause ruling out one candidate, so the next
+// Synthesize call returns a different solution. This is the paper's
+// §8.3.1 extension hook: "the CEGIS algorithm can trivially produce
+// multiple correct candidates", e.g. to pick the best by autotuning.
+func (s *Synthesizer) Exclude(cand desugar.Candidate) {
+	s.excludeCandidate(cand)
+}
+
+// Enumerate returns up to max distinct correct candidates by repeatedly
+// synthesizing and excluding. It stops early when the space is
+// exhausted.
+func (s *Synthesizer) Enumerate(max int) ([]*Result, error) {
+	var out []*Result
+	for len(out) < max {
+		r, err := s.Synthesize()
+		if err != nil {
+			return out, err
+		}
+		if !r.Resolved {
+			break
+		}
+		out = append(out, r)
+		s.Exclude(r.Candidate)
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package desugar
+
+import (
+	"fmt"
+	"math/big"
+
+	"psketch/internal/ast"
+	"psketch/internal/types"
+)
+
+// countTarget computes |C|, the number of syntactically distinct
+// candidate programs the sketch denotes, using the paper's counting
+// rules (cf. the 1,975,680 figure of §2):
+//
+//   - a primitive hole of w bits contributes 2^w;
+//   - a generator contributes the sum over its choices of the product
+//     of holes nested in each choice;
+//   - a reorder block of k statements contributes k! times the product
+//     of its statements;
+//   - an ordinary sketched function is counted once no matter how many
+//     call sites it has (one shared implementation);
+//   - a generator function is counted once per call site (fresh holes).
+func (d *desugarer) countTarget(tf *ast.FuncDecl) (*big.Int, error) {
+	c := &counter{d: d, countedFns: map[string]bool{}, seenHoles: map[*ast.Hole]bool{}, seenRegens: map[*ast.Regen]bool{}}
+	total := c.countBlock(tf.Body)
+	c.countedFns[tf.Name] = true
+	// Multiply in every ordinary function reached from the target,
+	// each exactly once (the call walk marks them).
+	for changed := true; changed; {
+		changed = false
+		for name := range c.pendingFns {
+			if c.countedFns[name] {
+				continue
+			}
+			c.countedFns[name] = true
+			fn := d.work.Func(name)
+			total.Mul(total, c.countBlock(fn.Body))
+			changed = true
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return total, nil
+}
+
+type counter struct {
+	d          *desugarer
+	countedFns map[string]bool
+	pendingFns map[string]bool
+	// seen deduplicates shared synthesis nodes (the repeat-count hole
+	// appears in every replica's guard but is one choice).
+	seenHoles  map[*ast.Hole]bool
+	seenRegens map[*ast.Regen]bool
+	err        error
+}
+
+func (c *counter) markCall(name string) {
+	fn := c.d.work.Func(name)
+	if fn == nil {
+		return // builtin
+	}
+	if c.pendingFns == nil {
+		c.pendingFns = map[string]bool{}
+	}
+	c.pendingFns[name] = true
+}
+
+func (c *counter) countBlock(b *ast.Block) *big.Int {
+	total := big.NewInt(1)
+	if b == nil {
+		return total
+	}
+	for _, s := range b.Stmts {
+		total.Mul(total, c.countStmt(s))
+	}
+	return total
+}
+
+func (c *counter) countStmt(s ast.Stmt) *big.Int {
+	one := big.NewInt(1)
+	switch x := s.(type) {
+	case nil:
+		return one
+	case *ast.Block:
+		return c.countBlock(x)
+	case *ast.DeclStmt:
+		return c.countExpr(x.Init)
+	case *ast.AssignStmt:
+		return one.Mul(c.countExpr(x.LHS), c.countExpr(x.RHS))
+	case *ast.IfStmt:
+		t := c.countExpr(x.Cond)
+		t.Mul(t, c.countBlock(x.Then))
+		if x.Else != nil {
+			t.Mul(t, c.countStmt(x.Else))
+		}
+		return t
+	case *ast.WhileStmt:
+		return one.Mul(c.countExpr(x.Cond), c.countBlock(x.Body))
+	case *ast.ReturnStmt:
+		return c.countExpr(x.Val)
+	case *ast.AssertStmt:
+		return c.countExpr(x.Cond)
+	case *ast.AtomicStmt:
+		t := c.countExpr(x.Cond)
+		return t.Mul(t, c.countBlock(x.Body))
+	case *ast.ForkStmt:
+		return c.countBlock(x.Body)
+	case *ast.ReorderStmt:
+		t := factorial(len(x.Body.Stmts))
+		return t.Mul(t, c.countBlock(x.Body))
+	case *ast.RepeatStmt:
+		c.err = fmt.Errorf("count: repeat should have been expanded")
+		return one
+	case *ast.LockStmt:
+		return c.countExpr(x.Target)
+	case *ast.ExprStmt:
+		return c.countExpr(x.X)
+	}
+	c.err = fmt.Errorf("count: unhandled statement %T", s)
+	return one
+}
+
+func (c *counter) countExpr(e ast.Expr) *big.Int {
+	one := big.NewInt(1)
+	switch x := e.(type) {
+	case nil:
+		return one
+	case *ast.Hole:
+		if c.seenHoles[x] {
+			return one
+		}
+		c.seenHoles[x] = true
+		if card, ok := c.d.holeCard[x]; ok {
+			return big.NewInt(card)
+		}
+		if t := c.d.info.TypeOf(x); t.Base == types.Bool && !t.IsArray() {
+			return big.NewInt(2)
+		}
+		bits := x.Width
+		if bits == 0 {
+			bits = c.d.opts.HoleWidth
+		}
+		if t := c.d.info.TypeOf(x); t.IsArray() && t.Base == types.Bool {
+			bits = t.Len
+		}
+		return new(big.Int).Lsh(one, uint(bits))
+	case *ast.Regen:
+		if c.seenRegens[x] {
+			return one
+		}
+		c.seenRegens[x] = true
+		total := big.NewInt(0)
+		for _, ch := range x.Choices {
+			total.Add(total, c.countExpr(ch))
+		}
+		return total
+	case *ast.Unary:
+		return c.countExpr(x.X)
+	case *ast.Binary:
+		return one.Mul(c.countExpr(x.X), c.countExpr(x.Y))
+	case *ast.FieldExpr:
+		return c.countExpr(x.X)
+	case *ast.IndexExpr:
+		return one.Mul(c.countExpr(x.X), c.countExpr(x.Index))
+	case *ast.SliceExpr:
+		return one.Mul(c.countExpr(x.X), c.countExpr(x.Start))
+	case *ast.CastExpr:
+		return c.countExpr(x.X)
+	case *ast.CallExpr:
+		t := big.NewInt(1)
+		for _, a := range x.Args {
+			t.Mul(t, c.countExpr(a))
+		}
+		if fn := c.d.work.Func(x.Fun); fn != nil {
+			if fn.Generator {
+				// Fresh holes per call site: count the body in a fresh
+				// dedup scope so repeated calls multiply.
+				savedH, savedR := c.seenHoles, c.seenRegens
+				c.seenHoles = map[*ast.Hole]bool{}
+				c.seenRegens = map[*ast.Regen]bool{}
+				t.Mul(t, c.countBlock(fn.Body))
+				c.seenHoles, c.seenRegens = savedH, savedR
+			} else {
+				c.markCall(x.Fun) // shared: counted once, later
+			}
+		}
+		return t
+	case *ast.NewExpr:
+		t := big.NewInt(1)
+		for _, a := range x.Args {
+			t.Mul(t, c.countExpr(a))
+		}
+		return t
+	}
+	return one
+}
+
+func factorial(k int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= k; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}

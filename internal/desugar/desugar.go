@@ -1,0 +1,514 @@
+// Package desugar lowers the high-level sketching constructs of §4.1
+// and §7 onto the base language with integer holes:
+//
+//   - repeat(n)/repeat(??) bodies are replicated with fresh holes (§3);
+//   - reorder blocks are encoded with either the quadratic or the
+//     exponential (insertion) encoding of §7.2, introducing index holes
+//     and side constraints;
+//   - generator functions are inlined with fresh holes per call site,
+//     ordinary sketched functions with shared holes across call sites
+//     (one implementation serves every caller);
+//   - the candidate-space size |C| of Table 1 is computed on the
+//     pre-encoding form (product of generator choice counts, k! per
+//     reorder block, 2^w per primitive hole).
+//
+// The result is a self-contained harness whose only synthesis
+// constructs are primitive holes and resolved {|...|} generators,
+// ready for if-conversion (internal/ir).
+package desugar
+
+import (
+	"fmt"
+	"math/big"
+
+	"psketch/internal/ast"
+	"psketch/internal/types"
+)
+
+// Encoding selects the reorder-block translation of §7.2.
+type Encoding int
+
+const (
+	// EncodeInsertion is the exponential-size encoding that inserts
+	// statements one at a time; the paper found it faster for the
+	// typical small blocks.
+	EncodeInsertion Encoding = iota
+	// EncodeQuadratic is the k² encoding with an order array and a
+	// no-duplicates constraint.
+	EncodeQuadratic
+)
+
+// Options configure desugaring and the bounded machine.
+type Options struct {
+	IntWidth  int      // bit width of int values (default 5)
+	HoleWidth int      // default bit width of ?? holes (default 3)
+	LoopBound int      // while-loop unroll bound (default 4)
+	MaxRepeat int      // bound for repeat(??) (default 8)
+	Encoding  Encoding // reorder encoding (default insertion)
+}
+
+// Defaults fills zero fields with default values.
+func (o Options) Defaults() Options {
+	if o.IntWidth == 0 {
+		o.IntWidth = 5
+	}
+	if o.HoleWidth == 0 {
+		o.HoleWidth = 3
+	}
+	if o.LoopBound == 0 {
+		o.LoopBound = 4
+	}
+	if o.MaxRepeat == 0 {
+		o.MaxRepeat = 8
+	}
+	return o
+}
+
+// HoleKind distinguishes how a hole's bits are interpreted.
+type HoleKind int
+
+const (
+	// HoleInt is a plain ?? constant (unsigned, zero-extended to int).
+	HoleInt HoleKind = iota
+	// HoleBool is a ?? in boolean context (1 bit).
+	HoleBool
+	// HoleBits is a ?? of bit-array type (one bit per cell).
+	HoleBits
+	// HoleChoice selects one alternative of a {|...|} generator.
+	HoleChoice
+)
+
+// HoleMeta describes one synthesis unknown.
+type HoleMeta struct {
+	ID      int
+	Kind    HoleKind
+	Bits    int // number of control bits
+	Choices int // for HoleChoice: number of alternatives
+	Label   string
+}
+
+// Sketch is a desugared synthesis problem for one harness.
+type Sketch struct {
+	Opts    Options
+	Prog    *ast.Program  // transformed program (structs, globals, harness [+ spec])
+	Info    *types.Info   // types for the transformed program
+	Harness *ast.FuncDecl // fully inlined synthesis target
+	Spec    *ast.FuncDecl // fully inlined reference implementation, or nil
+	// Holes lists every synthesis unknown, indexed by ID. Regens and
+	// primitive holes share the ID space.
+	Holes []HoleMeta
+	// Constraints are synthesis-time side conditions over holes
+	// (reorder permutation validity, repeat bounds). They contain only
+	// hole expressions and literals.
+	Constraints []ast.Expr
+	// Count is the size |C| of the candidate space as counted in
+	// Table 1 (product rule on the pre-encoding sketch).
+	Count *big.Int
+	// ResultVar / SpecResultVar name the locals that hold the return
+	// values of a sequential harness and its spec ("" when void or
+	// concurrent).
+	ResultVar     string
+	SpecResultVar string
+	// WorkProg is the pre-inline working program (repeat expanded,
+	// reorder encoded, hole IDs assigned). The pretty-printer uses it
+	// to render resolved sketches function by function, as in the
+	// paper's Figures 2, 4 and 6.
+	WorkProg *ast.Program
+}
+
+// Desugar lowers the program for the named synthesis target.
+func Desugar(prog *ast.Program, target string, opts Options) (*Sketch, error) {
+	opts = opts.Defaults()
+	d := &desugarer{opts: opts, sk: &Sketch{Opts: opts}}
+	if err := d.run(prog, target); err != nil {
+		return nil, err
+	}
+	return d.sk, nil
+}
+
+type desugarer struct {
+	opts        Options
+	sk          *Sketch
+	info        *types.Info // info for the working copy
+	work        *ast.Program
+	nameCounter int
+	// funcConstraints holds per-function side constraints on the
+	// working copy (pre-inline): reorder permutation validity and
+	// repeat-count bounds.
+	funcConstraints map[string][]ast.Expr
+	// holeCard overrides the cardinality of special holes (repeat
+	// counts) for |C| counting.
+	holeCard  map[*ast.Hole]int64
+	holeSeen  map[*ast.Hole]bool
+	regenSeen map[*ast.Regen]bool
+}
+
+// addConstraint records a synthesis-time side condition for fname.
+func (d *desugarer) addConstraint(fname string, c ast.Expr) {
+	d.funcConstraints[fname] = append(d.funcConstraints[fname], c)
+}
+
+func (d *desugarer) run(prog *ast.Program, target string) error {
+	// Work on a deep copy so the caller's AST stays pristine.
+	cl := ast.NewCloner(ast.CloneShare)
+	d.work = &ast.Program{}
+	for _, s := range prog.Structs {
+		cp := &ast.StructDecl{P: s.P, Name: s.Name}
+		for _, f := range s.Fields {
+			t := *f.Type
+			cp.Fields = append(cp.Fields, &ast.Field{P: f.P, Type: &t, Name: f.Name, Default: cl.Expr(f.Default)})
+		}
+		d.work.Structs = append(d.work.Structs, cp)
+	}
+	for _, g := range prog.Globals {
+		t := *g.Type
+		d.work.Globals = append(d.work.Globals, &ast.GlobalDecl{P: g.P, Type: &t, Name: g.Name, Init: cl.Expr(g.Init)})
+	}
+	for _, f := range prog.Funcs {
+		cp := &ast.FuncDecl{P: f.P, Generator: f.Generator, Harness: f.Harness, Name: f.Name, Implements: f.Implements}
+		if f.Ret != nil {
+			t := *f.Ret
+			cp.Ret = &t
+		}
+		for _, p := range f.Params {
+			t := *p.Type
+			cp.Params = append(cp.Params, &ast.Param{P: p.P, Type: &t, Name: p.Name})
+		}
+		cp.Body = cl.Block(f.Body)
+		d.work.Funcs = append(d.work.Funcs, cp)
+	}
+
+	// Type-check the copy; this also resolves every generator's
+	// choices, which counting and encoding need.
+	info, err := types.Check(d.work)
+	if err != nil {
+		return err
+	}
+	d.info = info
+
+	tf := d.work.Func(target)
+	if tf == nil {
+		return fmt.Errorf("desugar: no function named %s", target)
+	}
+
+	// Per-function structural lowering: repeat replication first (it
+	// creates fresh holes), then local alpha-renaming so later passes
+	// can hoist declarations without capture.
+	d.funcConstraints = map[string][]ast.Expr{}
+	d.holeCard = map[*ast.Hole]int64{}
+	for _, f := range d.work.Funcs {
+		if err := d.expandRepeatsIn(f.Body, f.Name); err != nil {
+			return err
+		}
+		if err := d.alphaRename(f); err != nil {
+			return err
+		}
+	}
+
+	// |C| on the pre-encoding form (Table 1 counting rules).
+	count, err := d.countTarget(tf)
+	if err != nil {
+		return err
+	}
+	d.sk.Count = count
+
+	// Assign IDs to holes before reorder encoding so that the encoded
+	// statement copies share their holes' identities.
+	d.holeSeen = map[*ast.Hole]bool{}
+	d.regenSeen = map[*ast.Regen]bool{}
+	for _, f := range d.work.Funcs {
+		d.assignIDs(f.Body, f.Name)
+	}
+
+	// Expression-inline simple generator functions (fresh holes per
+	// call site) before reorder encoding, so that the encoding's
+	// statement copies share the materialized holes.
+	for _, f := range d.work.Funcs {
+		if err := d.exprInlineGenerators(f.Body); err != nil {
+			return err
+		}
+	}
+
+	// Encode reorder blocks.
+	for _, f := range d.work.Funcs {
+		cons, err := d.encodeReorders(f.Body)
+		if err != nil {
+			return err
+		}
+		d.funcConstraints[f.Name] = append(d.funcConstraints[f.Name], cons...)
+	}
+
+	// Inline everything reachable from the target (and from its spec).
+	inlined, cons, err := d.inlineFunc(tf)
+	if err != nil {
+		return err
+	}
+	d.sk.Constraints = append(d.sk.Constraints, cons...)
+
+	var spec *ast.FuncDecl
+	if tf.Implements != "" {
+		sf := d.work.Func(tf.Implements)
+		specInlined, specCons, err := d.inlineFunc(sf)
+		if err != nil {
+			return err
+		}
+		if len(specCons) > 0 || len(d.holesIn(specInlined)) > 0 {
+			return fmt.Errorf("desugar: spec %s must not contain holes", sf.Name)
+		}
+		spec = specInlined
+	}
+
+	// Sequential targets return a value; lower their returns into a
+	// result variable so the bodies become straight-line.
+	if !containsFork(inlined.Body) && inlined.Ret != nil {
+		v, err := wrapResult(inlined)
+		if err != nil {
+			return err
+		}
+		d.sk.ResultVar = v
+	}
+	if spec != nil && spec.Ret != nil {
+		v, err := wrapResult(spec)
+		if err != nil {
+			return err
+		}
+		d.sk.SpecResultVar = v
+	}
+
+	// Build the final program and re-typecheck it (cloned nodes need
+	// fresh type annotations).
+	final := &ast.Program{Structs: d.work.Structs, Globals: d.work.Globals}
+	final.Funcs = append(final.Funcs, inlined)
+	if spec != nil {
+		final.Funcs = append(final.Funcs, spec)
+	}
+	finfo, err := types.Check(final)
+	if err != nil {
+		return fmt.Errorf("desugar: internal error re-checking lowered program: %w", err)
+	}
+	d.sk.Prog = final
+	d.sk.Info = finfo
+	d.sk.WorkProg = d.work
+	d.sk.Harness = inlined
+	d.sk.Spec = spec
+
+	if err := d.collectHoleMeta(); err != nil {
+		return err
+	}
+	// Encoding holes are compared against position literals as W-bit
+	// ints; the wrap is consistent only while the hole fits the width.
+	for _, m := range d.sk.Holes {
+		if m.Kind == HoleInt && m.Bits > d.opts.IntWidth {
+			return fmt.Errorf("desugar: a synthesis hole needs %d bits but IntWidth is %d; raise IntWidth or shrink the reorder block", m.Bits, d.opts.IntWidth)
+		}
+	}
+	return nil
+}
+
+// holesIn returns the holes appearing in a function body.
+func (d *desugarer) holesIn(f *ast.FuncDecl) []*ast.Hole {
+	var hs []*ast.Hole
+	ast.WalkExprs(f.Body, func(e ast.Expr) {
+		if h, ok := e.(*ast.Hole); ok {
+			hs = append(hs, h)
+		}
+	})
+	return hs
+}
+
+func (d *desugarer) fresh(base string) string {
+	d.nameCounter++
+	return fmt.Sprintf("%s_%d", base, d.nameCounter)
+}
+
+// assignIDs numbers every hole and generator in b (deduplicated by node
+// identity) into the global ID space.
+func (d *desugarer) assignIDs(b *ast.Block, label string) {
+	ast.WalkExprs(b, func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Hole:
+			if x.ID == -1 && !d.holeSeen[x] {
+				x.ID = d.nextID()
+				d.holeSeen[x] = true
+			}
+		case *ast.Regen:
+			if x.ID == -1 && !d.regenSeen[x] {
+				x.ID = d.nextID()
+				d.regenSeen[x] = true
+			}
+		}
+	})
+}
+
+// nextID reserves the next hole ID. Metadata is filled in later by
+// collectHoleMeta, once final types are known.
+func (d *desugarer) nextID() int {
+	id := len(d.sk.Holes)
+	d.sk.Holes = append(d.sk.Holes, HoleMeta{ID: id})
+	return id
+}
+
+// collectHoleMeta fills the metadata table from the final typed AST.
+func (d *desugarer) collectHoleMeta() error {
+	filled := make([]bool, len(d.sk.Holes))
+	var visitExpr func(e ast.Expr) error
+	record := func(id int, m HoleMeta) error {
+		if id < 0 || id >= len(d.sk.Holes) {
+			return fmt.Errorf("desugar: hole with unassigned ID")
+		}
+		if filled[id] {
+			prev := d.sk.Holes[id]
+			if prev.Kind != m.Kind || prev.Bits != m.Bits || prev.Choices != m.Choices {
+				return fmt.Errorf("desugar: hole %d has inconsistent uses", id)
+			}
+			return nil
+		}
+		m.ID = id
+		d.sk.Holes[id] = m
+		filled[id] = true
+		return nil
+	}
+	visitExpr = func(e ast.Expr) error {
+		var err error
+		ast.WalkExpr(e, func(x ast.Expr) {
+			if err != nil {
+				return
+			}
+			switch h := x.(type) {
+			case *ast.Hole:
+				t := d.sk.Info.TypeOf(h)
+				m := HoleMeta{Kind: HoleInt, Label: "??"}
+				switch {
+				case t.IsArray() && t.Base == types.Bool:
+					m.Kind = HoleBits
+					m.Bits = t.Len
+				case t.Base == types.Bool:
+					m.Kind = HoleBool
+					m.Bits = 1
+				default:
+					m.Bits = h.Width
+					if m.Bits == 0 {
+						m.Bits = d.opts.HoleWidth
+					}
+				}
+				err = record(h.ID, m)
+			case *ast.Regen:
+				k := len(h.Choices)
+				m := HoleMeta{Kind: HoleChoice, Bits: bitsFor(k), Choices: k, Label: "{|" + h.Text + "|}"}
+				err = record(h.ID, m)
+			}
+		})
+		return err
+	}
+	visitStmt := func(s ast.Stmt) error {
+		var err error
+		walkTopExprs(s, func(e ast.Expr) {
+			if err == nil {
+				err = visitExpr(e)
+			}
+		})
+		return err
+	}
+	if err := visitStmt(d.sk.Harness.Body); err != nil {
+		return err
+	}
+	for _, c := range d.sk.Constraints {
+		if err := visitExpr(c); err != nil {
+			return err
+		}
+	}
+	// Synthetic holes referenced only from constraints, or never used:
+	// give unused slots 1-bit int metadata so downstream code is total.
+	for i, ok := range filled {
+		if !ok {
+			if d.sk.Holes[i].Bits == 0 {
+				d.sk.Holes[i] = HoleMeta{ID: i, Kind: HoleInt, Bits: 1, Label: "(unused)"}
+			}
+		}
+	}
+	return nil
+}
+
+// walkTopExprs calls f once for each top-level expression of s
+// (conditions, operands, initializers), without descending into
+// sub-expressions — visitExpr does its own descent.
+func walkTopExprs(s ast.Stmt, f func(ast.Expr)) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			walkTopExprs(st, f)
+		}
+	case *ast.DeclStmt:
+		if x.Init != nil {
+			f(x.Init)
+		}
+	case *ast.AssignStmt:
+		f(x.LHS)
+		f(x.RHS)
+	case *ast.IfStmt:
+		f(x.Cond)
+		walkTopExprs(x.Then, f)
+		walkTopExprs(x.Else, f)
+	case *ast.WhileStmt:
+		f(x.Cond)
+		walkTopExprs(x.Body, f)
+	case *ast.ReturnStmt:
+		if x.Val != nil {
+			f(x.Val)
+		}
+	case *ast.AssertStmt:
+		f(x.Cond)
+	case *ast.AtomicStmt:
+		if x.Cond != nil {
+			f(x.Cond)
+		}
+		walkTopExprs(x.Body, f)
+	case *ast.ForkStmt:
+		f(x.N)
+		walkTopExprs(x.Body, f)
+	case *ast.ReorderStmt:
+		walkTopExprs(x.Body, f)
+	case *ast.RepeatStmt:
+		f(x.Count)
+		walkTopExprs(x.Body, f)
+	case *ast.LockStmt:
+		f(x.Target)
+	case *ast.ExprStmt:
+		f(x.X)
+	}
+}
+
+// bitsFor returns ceil(log2(n)) with a minimum of 1.
+func bitsFor(n int) int {
+	b := 1
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// Candidate assigns a concrete value to every hole: the chosen constant
+// for primitive holes (HoleInt/HoleBool/HoleBits, bit-packed) and the
+// chosen alternative index for generators (HoleChoice).
+type Candidate []int64
+
+// Choice returns the clamped alternative index for a generator hole.
+func (c Candidate) Choice(id, nchoices int) int {
+	if id < 0 || id >= len(c) || nchoices == 0 {
+		return 0
+	}
+	v := int(c[id])
+	if v < 0 || v >= nchoices {
+		return 0
+	}
+	return v
+}
+
+// Value returns the raw value of a hole (0 when out of range).
+func (c Candidate) Value(id int) int64 {
+	if id < 0 || id >= len(c) {
+		return 0
+	}
+	return c[id]
+}

@@ -1,0 +1,257 @@
+package desugar
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"psketch/internal/ast"
+	"psketch/internal/parser"
+)
+
+func desugarSrc(t *testing.T, src, target string, opts Options) *Sketch {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Desugar(prog, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// §2's exact figure: the Figure 1 Enqueue sketch denotes 1,975,680
+// candidates (28 · 28 · 420 · 3!).
+func TestFigure1Count(t *testing.T) {
+	src := `
+struct QueueEntry { QueueEntry next = null; int stored; int taken = 0; }
+QueueEntry prevHead;
+QueueEntry tail;
+
+#define aLocation {| tail(.next)? | (tmp|newEntry).next |}
+#define aValue {| (tail|tmp|newEntry)(.next)? | null |}
+#define anExpr(x,y) {| x==y | x!=y | false |}
+
+void Enqueue(int v) {
+	QueueEntry tmp = null;
+	QueueEntry newEntry = new QueueEntry(v);
+	reorder {
+		aLocation = aValue;
+		tmp = AtomicSwap(aLocation, aValue);
+		if (anExpr(tmp, aValue)) { aLocation = aValue; }
+	}
+}
+
+harness void Main() {
+	prevHead = new QueueEntry(0);
+	tail = prevHead;
+	fork (i; 2) { Enqueue(i); }
+}
+`
+	sk := desugarSrc(t, src, "Main", Options{})
+	if sk.Count.Cmp(big.NewInt(1975680)) != 0 {
+		t.Fatalf("|C| = %s, want 1975680", sk.Count)
+	}
+}
+
+// Counting rules: k! per reorder, product of generators, 2^w per hole,
+// shared functions once, generator functions per call site.
+func TestCountingRules(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`harness void Main() { int x = ??(3); x = x; fork (i; 1) { } }`, 8},
+		{`harness void Main() { int x = {| 1 | 2 | 3 |}; x = x; fork (i; 1) { } }`, 3},
+		{`int g;
+		  harness void Main() { fork (i; 1) { } reorder { g = 1; g = 2; g = 3; } }`, 6},
+		{`int g;
+		  void f() { g = g + ??(2); }
+		  harness void Main() { f(); f(); fork (i; 1) { } }`, 4}, // shared: counted once
+		{`int g;
+		  generator int p() { return {| 1 | 2 |}; }
+		  harness void Main() { g = p(); g = p(); fork (i; 1) { } }`, 4}, // fresh per site
+	}
+	for _, c := range cases {
+		sk := desugarSrc(t, c.src, "Main", Options{})
+		if sk.Count.Int64() != c.want {
+			t.Errorf("count of %q = %s, want %d", c.src, sk.Count, c.want)
+		}
+	}
+}
+
+// Ordinary functions inlined at several call sites share their holes;
+// generator functions get fresh ones.
+func TestHoleSharing(t *testing.T) {
+	shared := desugarSrc(t, `
+int g;
+void f() { g = g + ??(2); }
+harness void Main() { f(); f(); f(); fork (i; 1) { } }
+`, "Main", Options{})
+	ids := map[int]int{}
+	ast.WalkExprs(shared.Harness.Body, func(e ast.Expr) {
+		if h, ok := e.(*ast.Hole); ok {
+			ids[h.ID]++
+		}
+	})
+	if len(ids) != 1 {
+		t.Fatalf("shared function: distinct hole IDs %v, want 1", ids)
+	}
+
+	fresh := desugarSrc(t, `
+int g;
+generator int p() { return ??(2); }
+harness void Main() { g = p(); g = p(); g = p(); fork (i; 1) { } }
+`, "Main", Options{})
+	ids = map[int]int{}
+	ast.WalkExprs(fresh.Harness.Body, func(e ast.Expr) {
+		if h, ok := e.(*ast.Hole); ok {
+			ids[h.ID]++
+		}
+	})
+	if len(ids) != 3 {
+		t.Fatalf("generator function: distinct hole IDs %v, want 3", ids)
+	}
+}
+
+// Both reorder encodings must admit exactly the k! orders: check via
+// the structural constraints that the number of satisfying reorder-hole
+// assignments matches (quadratic: k! valid permutations).
+func TestReorderEncodings(t *testing.T) {
+	src := `
+int g;
+harness void Main() {
+	fork (i; 1) { }
+	reorder { g = 1; g = 2; g = 3; }
+}
+`
+	for _, enc := range []Encoding{EncodeInsertion, EncodeQuadratic} {
+		sk := desugarSrc(t, src, "Main", Options{Encoding: enc})
+		if sk.Count.Int64() != 6 {
+			t.Errorf("encoding %v: count %s", enc, sk.Count)
+		}
+		if len(sk.Holes) == 0 {
+			t.Errorf("encoding %v: no holes", enc)
+		}
+	}
+}
+
+// repeat(n) replicates with fresh holes; repeat(??) is bounded with a
+// count hole and constraint.
+func TestRepeatExpansion(t *testing.T) {
+	sk := desugarSrc(t, `
+int g;
+harness void Main() {
+	fork (i; 1) { }
+	repeat (3) g = g + ??(1);
+}
+`, "Main", Options{})
+	ids := map[int]bool{}
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if h, ok := e.(*ast.Hole); ok {
+			ids[h.ID] = true
+		}
+	})
+	if len(ids) != 3 {
+		t.Fatalf("repeat(3): %d distinct holes, want 3", len(ids))
+	}
+
+	sk = desugarSrc(t, `
+int g;
+harness void Main() {
+	fork (i; 1) { }
+	repeat (??) g = g + 1;
+}
+`, "Main", Options{MaxRepeat: 5})
+	// Count = (MaxRepeat+1) choices for the count hole.
+	if sk.Count.Int64() != 6 {
+		t.Fatalf("repeat(??): count %s, want 6", sk.Count)
+	}
+}
+
+func TestReturnLowering(t *testing.T) {
+	sk := desugarSrc(t, `
+int g;
+int f(int x) {
+	if (x == 0) { return 7; }
+	g = g + 1;
+	return x;
+}
+harness void Main() {
+	int a = f(0);
+	assert a == 7;
+	fork (i; 1) { }
+}
+`, "Main", Options{})
+	// After inlining there must be no return statements left.
+	var returns int
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			returns++
+		}
+		switch x := s.(type) {
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(x.Then)
+			walk(x.Else)
+		case *ast.WhileStmt:
+			walk(x.Body)
+		case *ast.ForkStmt:
+			walk(x.Body)
+		}
+	}
+	walk(sk.Harness.Body)
+	if returns != 0 {
+		t.Fatalf("%d returns survived inlining", returns)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	prog, err := parser.Parse(`
+int f(int x) { int y = f(x); return y; }
+harness void Main() { int a = f(1); a = a; fork (i; 1) { } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Desugar(prog, "Main", Options{}); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSpecMustBeHoleFree(t *testing.T) {
+	prog, err := parser.Parse(`
+int spec(int x) { return x + ??; }
+int f(int x) implements spec { return x; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Desugar(prog, "f", Options{}); err == nil {
+		t.Fatal("expected error for holes in spec")
+	}
+}
+
+func TestConstraintsAreWrapSafe(t *testing.T) {
+	// A 6-statement reorder produces insertion holes up to 5 bits; at
+	// IntWidth 5 the old "h <= 31" constraint used to wrap to "h <= -1".
+	src := `
+int g;
+harness void Main() {
+	fork (i; 1) { }
+	reorder { g = 1; g = 2; g = 3; g = 4; g = 5; g = 6; }
+}
+`
+	sk := desugarSrc(t, src, "Main", Options{IntWidth: 5})
+	// All-zero must satisfy every structural constraint (position 0 is
+	// always legal for the insertion encoding).
+	if sk.Count.Int64() != 720 {
+		t.Fatalf("count %s", sk.Count)
+	}
+}

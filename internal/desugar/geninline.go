@@ -1,0 +1,224 @@
+package desugar
+
+import (
+	"fmt"
+
+	"psketch/internal/ast"
+)
+
+// Expression-level inlining of simple generator functions.
+//
+// A generator whose body is a single `return expr;` is substituted
+// directly at the expression level (fresh holes per call site, §4.1),
+// with arguments substituted for parameters. This is required — not
+// just convenient — for two paper idioms:
+//
+//   - `if (predicate(...)) { ... }` inside a reorder block (the barrier
+//     of §8.2.2): the call sits in condition position;
+//   - any generator call inside a reorder block: the encoding
+//     replicates statements with shared holes, so the call's holes must
+//     be materialized before encoding.
+//
+// Generators with more complex bodies remain restricted to
+// statement-level calls, handled by the ordinary inliner.
+
+// isSimpleGenerator reports whether fn can be expression-inlined.
+func isSimpleGenerator(fn *ast.FuncDecl) bool {
+	if fn == nil || !fn.Generator || fn.Ret == nil || len(fn.Body.Stmts) != 1 {
+		return false
+	}
+	ret, ok := fn.Body.Stmts[0].(*ast.ReturnStmt)
+	return ok && ret.Val != nil
+}
+
+// exprInlineGenerators rewrites every call to a simple generator inside
+// the block into its body expression with fresh, immediately numbered
+// holes.
+func (d *desugarer) exprInlineGenerators(b *ast.Block) error {
+	return d.gilBlock(b, 0)
+}
+
+func (d *desugarer) gilBlock(b *ast.Block, depth int) error {
+	if b == nil {
+		return nil
+	}
+	for _, s := range b.Stmts {
+		if err := d.gilStmt(s, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *desugarer) gilStmt(s ast.Stmt, depth int) error {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *ast.Block:
+		return d.gilBlock(x, depth)
+	case *ast.DeclStmt:
+		return d.gilExpr(&x.Init, depth)
+	case *ast.AssignStmt:
+		if err := d.gilExpr(&x.LHS, depth); err != nil {
+			return err
+		}
+		return d.gilExpr(&x.RHS, depth)
+	case *ast.IfStmt:
+		if err := d.gilExpr(&x.Cond, depth); err != nil {
+			return err
+		}
+		if err := d.gilBlock(x.Then, depth); err != nil {
+			return err
+		}
+		return d.gilStmt(x.Else, depth)
+	case *ast.WhileStmt:
+		if err := d.gilExpr(&x.Cond, depth); err != nil {
+			return err
+		}
+		return d.gilBlock(x.Body, depth)
+	case *ast.ReturnStmt:
+		return d.gilExpr(&x.Val, depth)
+	case *ast.AssertStmt:
+		return d.gilExpr(&x.Cond, depth)
+	case *ast.AtomicStmt:
+		if x.Cond != nil {
+			if err := d.gilExpr(&x.Cond, depth); err != nil {
+				return err
+			}
+		}
+		return d.gilBlock(x.Body, depth)
+	case *ast.ForkStmt:
+		return d.gilBlock(x.Body, depth)
+	case *ast.ReorderStmt:
+		return d.gilBlock(x.Body, depth)
+	case *ast.LockStmt:
+		return d.gilExpr(&x.Target, depth)
+	case *ast.ExprStmt:
+		return d.gilExpr(&x.X, depth)
+	case *ast.RepeatStmt:
+		if err := d.gilExpr(&x.Count, depth); err != nil {
+			return err
+		}
+		return d.gilStmt(x.Body, depth)
+	}
+	return nil
+}
+
+// gilExpr rewrites *ep in place.
+func (d *desugarer) gilExpr(ep *ast.Expr, depth int) error {
+	if ep == nil || *ep == nil {
+		return nil
+	}
+	if depth > maxInlineDepth {
+		return fmt.Errorf("generator inlining too deep (recursive generator?)")
+	}
+	switch x := (*ep).(type) {
+	case *ast.CallExpr:
+		for i := range x.Args {
+			if err := d.gilExpr(&x.Args[i], depth); err != nil {
+				return err
+			}
+		}
+		fn := d.work.Func(x.Fun)
+		if !isSimpleGenerator(fn) {
+			return nil
+		}
+		if len(x.Args) != len(fn.Params) {
+			return fmt.Errorf("%s: %s expects %d argument(s), got %d", x.P, x.Fun, len(fn.Params), len(x.Args))
+		}
+		ret := fn.Body.Stmts[0].(*ast.ReturnStmt).Val
+		cl := ast.NewCloner(ast.CloneFresh)
+		body := cl.Expr(ret)
+		// Substitute arguments for parameters.
+		sub := map[string]ast.Expr{}
+		for i, p := range fn.Params {
+			sub[p.Name] = x.Args[i]
+		}
+		body = substIdentsExpr(body, sub)
+		// Fresh holes get IDs now; simple generators cannot contribute
+		// side constraints (their body is one expression).
+		d.assignIDsExpr(body)
+		*ep = body
+		// The generator may itself call simple generators.
+		return d.gilExpr(ep, depth+1)
+	case *ast.Regen:
+		for i := range x.Choices {
+			if err := d.gilExpr(&x.Choices[i], depth); err != nil {
+				return err
+			}
+		}
+	case *ast.Unary:
+		return d.gilExpr(&x.X, depth)
+	case *ast.Binary:
+		if err := d.gilExpr(&x.X, depth); err != nil {
+			return err
+		}
+		return d.gilExpr(&x.Y, depth)
+	case *ast.FieldExpr:
+		return d.gilExpr(&x.X, depth)
+	case *ast.IndexExpr:
+		if err := d.gilExpr(&x.X, depth); err != nil {
+			return err
+		}
+		return d.gilExpr(&x.Index, depth)
+	case *ast.SliceExpr:
+		if err := d.gilExpr(&x.X, depth); err != nil {
+			return err
+		}
+		return d.gilExpr(&x.Start, depth)
+	case *ast.CastExpr:
+		return d.gilExpr(&x.X, depth)
+	case *ast.NewExpr:
+		for i := range x.Args {
+			if err := d.gilExpr(&x.Args[i], depth); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// substIdentsExpr replaces parameter identifiers with argument
+// expressions (shared argument nodes: the sketch language has no
+// side-effecting argument idioms for simple generators).
+func substIdentsExpr(e ast.Expr, sub map[string]ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if rep, bound := sub[id.Name]; bound {
+			return ast.NewCloner(ast.CloneShare).Expr(rep)
+		}
+		return e
+	}
+	switch x := e.(type) {
+	case *ast.Regen:
+		for i := range x.Choices {
+			x.Choices[i] = substIdentsExpr(x.Choices[i], sub)
+		}
+	case *ast.Unary:
+		x.X = substIdentsExpr(x.X, sub)
+	case *ast.Binary:
+		x.X = substIdentsExpr(x.X, sub)
+		x.Y = substIdentsExpr(x.Y, sub)
+	case *ast.FieldExpr:
+		x.X = substIdentsExpr(x.X, sub)
+	case *ast.IndexExpr:
+		x.X = substIdentsExpr(x.X, sub)
+		x.Index = substIdentsExpr(x.Index, sub)
+	case *ast.SliceExpr:
+		x.X = substIdentsExpr(x.X, sub)
+		x.Start = substIdentsExpr(x.Start, sub)
+	case *ast.CallExpr:
+		for i := range x.Args {
+			x.Args[i] = substIdentsExpr(x.Args[i], sub)
+		}
+	case *ast.CastExpr:
+		x.X = substIdentsExpr(x.X, sub)
+	case *ast.NewExpr:
+		for i := range x.Args {
+			x.Args[i] = substIdentsExpr(x.Args[i], sub)
+		}
+	}
+	return e
+}

@@ -1,0 +1,157 @@
+package desugar
+
+import (
+	"testing"
+
+	"psketch/internal/ast"
+	"psketch/internal/parser"
+)
+
+// Simple generators inline as expressions, so they may appear in
+// condition position — the paper's barrier idiom `if (predicate(...))`.
+func TestGeneratorInCondition(t *testing.T) {
+	sk := desugarSrc(t, `
+int g;
+generator bool pred(int a) {
+	return {| a == 0 | a == 1 |};
+}
+harness void Main() {
+	fork (i; 1) { }
+	if (pred(g)) { g = 1; }
+}
+`, "Main", Options{})
+	// The condition must contain the inlined generator, with the
+	// argument substituted.
+	var found bool
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if r, ok := e.(*ast.Regen); ok {
+			found = true
+			for _, ch := range r.Choices {
+				b, ok := ch.(*ast.Binary)
+				if !ok {
+					t.Fatalf("choice %T", ch)
+				}
+				if id, ok := b.X.(*ast.Ident); !ok || id.Name != "g" {
+					t.Fatalf("argument not substituted: %v", b.X)
+				}
+			}
+		}
+	})
+	if !found {
+		t.Fatal("generator not inlined into condition")
+	}
+}
+
+// Generator calls inside a reorder block must share their holes across
+// the encoding's statement copies (the whole point of pre-encoding
+// inlining).
+func TestGeneratorInReorderSharesHoles(t *testing.T) {
+	// The quadratic encoding duplicates every statement k times; all
+	// copies must reference ONE generator choice (same ID). (The
+	// insertion encoding inserts large statements first precisely so
+	// they are NOT duplicated, §7.2.)
+	sk := desugarSrc(t, `
+int g;
+generator bool pred(int a) {
+	return {| a == 0 | a == 1 |};
+}
+harness void Main() {
+	fork (i; 1) { }
+	reorder {
+		if (pred(g)) { g = 1; }
+		g = 2;
+	}
+}
+`, "Main", Options{Encoding: EncodeQuadratic})
+	ids := map[int]int{}
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if r, ok := e.(*ast.Regen); ok {
+			ids[r.ID]++
+		}
+	})
+	if len(ids) != 1 {
+		t.Fatalf("distinct generator IDs across copies: %v", ids)
+	}
+	for id, n := range ids {
+		if n < 2 {
+			t.Fatalf("generator %d not replicated by the encoding (%d use)", id, n)
+		}
+	}
+}
+
+// Nested simple generators inline recursively.
+func TestNestedGenerators(t *testing.T) {
+	sk := desugarSrc(t, `
+int g;
+generator int small() { return {| 1 | 2 |}; }
+generator int big() { return small() + {| 10 | 20 |}; }
+harness void Main() {
+	fork (i; 1) { }
+	g = big();
+}
+`, "Main", Options{})
+	regens := 0
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if _, ok := e.(*ast.CallExpr); ok {
+			t.Fatal("call survived inlining")
+		}
+		if _, ok := e.(*ast.Regen); ok {
+			regens++
+		}
+	})
+	if regens != 2 {
+		t.Fatalf("regens %d, want 2", regens)
+	}
+	// |C| = 2 * 2.
+	if sk.Count.Int64() != 4 {
+		t.Fatalf("count %s", sk.Count)
+	}
+}
+
+// A complex (multi-statement) generator in condition position is a
+// clear error, not silent misbehavior.
+func TestComplexGeneratorInConditionRejected(t *testing.T) {
+	prog, err := parser.Parse(`
+int g;
+generator bool pred(int a) {
+	int t = a;
+	return {| t == 0 | t == 1 |};
+}
+harness void Main() {
+	fork (i; 1) { }
+	if (pred(g)) { g = 1; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Desugar(prog, "Main", Options{}); err == nil {
+		t.Fatal("expected statement-level restriction error")
+	}
+}
+
+// Statement-level complex generators still work via the ordinary
+// inliner, with fresh holes per call site.
+func TestComplexGeneratorStatementLevel(t *testing.T) {
+	sk := desugarSrc(t, `
+int g;
+generator int pick(int a) {
+	int t = {| a | a + 1 |};
+	return t;
+}
+harness void Main() {
+	fork (i; 1) { }
+	g = pick(g);
+	g = pick(g);
+}
+`, "Main", Options{})
+	ids := map[int]bool{}
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if r, ok := e.(*ast.Regen); ok {
+			ids[r.ID] = true
+		}
+	})
+	if len(ids) != 2 {
+		t.Fatalf("fresh-per-site failed: %v", ids)
+	}
+}

@@ -1,0 +1,472 @@
+package desugar
+
+import (
+	"fmt"
+
+	"psketch/internal/ast"
+	"psketch/internal/token"
+	"psketch/internal/types"
+)
+
+const (
+	notOp = token.NOT
+	andOp = token.LAND
+)
+
+// inlineFunc returns a copy of f with every user-function call expanded
+// in place, plus the side constraints contributed by the inlined
+// functions. Ordinary sketched functions are inlined with shared holes
+// (all call sites resolve to the same implementation); generator
+// functions are inlined with fresh holes per call site.
+func (d *desugarer) inlineFunc(f *ast.FuncDecl) (*ast.FuncDecl, []ast.Expr, error) {
+	st := &inliner{d: d, consAdded: map[string]bool{}, stack: map[string]bool{f.Name: true}}
+	st.cons = append(st.cons, d.funcConstraints[f.Name]...)
+	st.consAdded[f.Name] = true
+	// Work on a shared-hole clone so the pre-inline program (kept for
+	// pretty-printing) stays intact.
+	body, err := st.block(ast.NewCloner(ast.CloneShare).Block(f.Body))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &ast.FuncDecl{
+		P: f.P, Harness: f.Harness, Name: f.Name, Implements: f.Implements,
+		Ret: f.Ret, Params: f.Params, Body: body,
+	}
+	return out, st.cons, nil
+}
+
+type inliner struct {
+	d         *desugarer
+	cons      []ast.Expr
+	consAdded map[string]bool
+	stack     map[string]bool
+	depth     int
+}
+
+const maxInlineDepth = 64
+
+func (st *inliner) block(b *ast.Block) (*ast.Block, error) {
+	out := &ast.Block{P: b.P}
+	for _, s := range b.Stmts {
+		rs, err := st.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, rs...)
+	}
+	return out, nil
+}
+
+// userCall returns the call expression if e is a call to a user
+// function (not a builtin), else nil.
+func (st *inliner) userCall(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || types.IsBuiltin(call.Fun) {
+		return nil
+	}
+	return call
+}
+
+// checkNoUserCalls rejects user-function calls nested inside an
+// expression (they are only supported at statement level).
+func (st *inliner) checkNoUserCalls(e ast.Expr) error {
+	var err error
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if err != nil {
+			return
+		}
+		if c, ok := x.(*ast.CallExpr); ok && !types.IsBuiltin(c.Fun) {
+			err = fmt.Errorf("%s: call to %s must appear as its own statement (x = %s(...); or %s(...);)", c.P, c.Fun, c.Fun, c.Fun)
+		}
+	})
+	return err
+}
+
+func (st *inliner) stmt(s ast.Stmt) ([]ast.Stmt, error) {
+	switch x := s.(type) {
+	case *ast.Block:
+		b, err := st.block(x)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Stmt{b}, nil
+	case *ast.DeclStmt:
+		if call := st.userCall(x.Init); call != nil {
+			seq, ret, err := st.expandCall(call, true)
+			if err != nil {
+				return nil, err
+			}
+			x.Init = &ast.Ident{P: call.P, Name: ret}
+			return append(seq, x), nil
+		}
+		if err := st.checkNoUserCalls(x.Init); err != nil {
+			return nil, err
+		}
+	case *ast.AssignStmt:
+		if err := st.checkNoUserCalls(x.LHS); err != nil {
+			return nil, err
+		}
+		if call := st.userCall(x.RHS); call != nil {
+			seq, ret, err := st.expandCall(call, true)
+			if err != nil {
+				return nil, err
+			}
+			x.RHS = &ast.Ident{P: call.P, Name: ret}
+			return append(seq, x), nil
+		}
+		if err := st.checkNoUserCalls(x.RHS); err != nil {
+			return nil, err
+		}
+	case *ast.ExprStmt:
+		if call := st.userCall(x.X); call != nil {
+			seq, _, err := st.expandCall(call, false)
+			if err != nil {
+				return nil, err
+			}
+			return seq, nil
+		}
+		if err := st.checkNoUserCalls(x.X); err != nil {
+			return nil, err
+		}
+	case *ast.IfStmt:
+		if err := st.checkNoUserCalls(x.Cond); err != nil {
+			return nil, err
+		}
+		thenB, err := st.block(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		x.Then = thenB
+		if x.Else != nil {
+			rs, err := st.stmt(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			if len(rs) == 1 {
+				x.Else = rs[0]
+			} else {
+				x.Else = &ast.Block{P: x.P, Stmts: rs}
+			}
+		}
+	case *ast.WhileStmt:
+		if err := st.checkNoUserCalls(x.Cond); err != nil {
+			return nil, err
+		}
+		body, err := st.block(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		x.Body = body
+	case *ast.AtomicStmt:
+		if x.Cond != nil {
+			if err := st.checkNoUserCalls(x.Cond); err != nil {
+				return nil, err
+			}
+		}
+		body, err := st.block(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		x.Body = body
+	case *ast.ForkStmt:
+		body, err := st.block(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		x.Body = body
+	case *ast.ReturnStmt:
+		if x.Val != nil {
+			if call := st.userCall(x.Val); call != nil {
+				seq, ret, err := st.expandCall(call, true)
+				if err != nil {
+					return nil, err
+				}
+				x.Val = &ast.Ident{P: call.P, Name: ret}
+				return append(seq, x), nil
+			}
+			if err := st.checkNoUserCalls(x.Val); err != nil {
+				return nil, err
+			}
+		}
+	case *ast.AssertStmt:
+		if err := st.checkNoUserCalls(x.Cond); err != nil {
+			return nil, err
+		}
+	case *ast.LockStmt:
+		if err := st.checkNoUserCalls(x.Target); err != nil {
+			return nil, err
+		}
+	case *ast.ReorderStmt:
+		return nil, fmt.Errorf("%s: internal error: reorder survived encoding", x.P)
+	case *ast.RepeatStmt:
+		return nil, fmt.Errorf("%s: internal error: repeat survived expansion", x.P)
+	}
+	return []ast.Stmt{s}, nil
+}
+
+// expandCall inlines one call, returning the statement sequence and the
+// name of the result variable (if wantRet).
+func (st *inliner) expandCall(call *ast.CallExpr, wantRet bool) ([]ast.Stmt, string, error) {
+	d := st.d
+	fn := d.work.Func(call.Fun)
+	if fn == nil {
+		return nil, "", fmt.Errorf("%s: call to unknown function %s", call.P, call.Fun)
+	}
+	if st.stack[fn.Name] {
+		return nil, "", fmt.Errorf("%s: recursive call to %s is not supported", call.P, fn.Name)
+	}
+	st.depth++
+	if st.depth > maxInlineDepth {
+		return nil, "", fmt.Errorf("%s: inlining too deep", call.P)
+	}
+	defer func() { st.depth-- }()
+
+	for _, a := range call.Args {
+		if err := st.checkNoUserCalls(a); err != nil {
+			return nil, "", err
+		}
+	}
+
+	prefix := d.fresh("_"+fn.Name) + "_"
+	var body *ast.Block
+	if fn.Generator {
+		cl := ast.NewCloner(ast.CloneFresh)
+		body = cl.Block(fn.Body)
+		for _, con := range d.funcConstraints[fn.Name] {
+			st.cons = append(st.cons, cl.Expr(con))
+		}
+		// Fresh holes need IDs now; constraints share the clones' nodes.
+		d.assignIDs(body, fn.Name)
+		for _, con := range st.cons[len(st.cons)-len(d.funcConstraints[fn.Name]):] {
+			d.assignIDsExpr(con)
+		}
+	} else {
+		cl := ast.NewCloner(ast.CloneShare)
+		body = cl.Block(fn.Body)
+		if !st.consAdded[fn.Name] {
+			st.consAdded[fn.Name] = true
+			st.cons = append(st.cons, d.funcConstraints[fn.Name]...)
+		}
+	}
+
+	// Parameter and result plumbing.
+	seed := map[string]string{}
+	var seq []ast.Stmt
+	for i, p := range fn.Params {
+		pn := prefix + p.Name
+		seed[p.Name] = pn
+		t := *p.Type
+		seq = append(seq, &ast.DeclStmt{P: call.P, Type: &t, Name: pn, Init: call.Args[i]})
+	}
+	if err := d.renameBody(body, prefix, seed); err != nil {
+		return nil, "", err
+	}
+
+	retName := ""
+	if fn.Ret != nil {
+		retName = prefix + "ret"
+		t := *fn.Ret
+		seq = append(seq, &ast.DeclStmt{P: call.P, Type: &t, Name: retName})
+	} else if wantRet {
+		return nil, "", fmt.Errorf("%s: void function %s used as a value", call.P, fn.Name)
+	}
+	if containsReturn(body) {
+		doneName := prefix + "done"
+		seq = append(seq, &ast.DeclStmt{P: call.P, Type: &ast.TypeExpr{P: call.P, Name: "bool"}, Name: doneName, Init: &ast.BoolLit{P: call.P, Val: false}})
+		if err := lowerReturns(body, retName, doneName); err != nil {
+			return nil, "", err
+		}
+	}
+
+	// Recursively inline calls within the body.
+	st.stack[fn.Name] = true
+	inlined, err := st.block(body)
+	st.stack[fn.Name] = false
+	if err != nil {
+		return nil, "", err
+	}
+	seq = append(seq, inlined)
+	return seq, retName, nil
+}
+
+// assignIDsExpr numbers holes appearing only in a constraint.
+func (d *desugarer) assignIDsExpr(e ast.Expr) {
+	ast.WalkExpr(e, func(x ast.Expr) {
+		switch h := x.(type) {
+		case *ast.Hole:
+			if h.ID == -1 && !d.holeSeen[h] {
+				h.ID = d.nextID()
+				d.holeSeen[h] = true
+			}
+		case *ast.Regen:
+			if h.ID == -1 && !d.regenSeen[h] {
+				h.ID = d.nextID()
+				d.regenSeen[h] = true
+			}
+		}
+	})
+}
+
+// containsReturn reports whether any return statement occurs in b.
+func containsReturn(b *ast.Block) bool {
+	found := false
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(x.Then)
+			walk(x.Else)
+		case *ast.WhileStmt:
+			walk(x.Body)
+		case *ast.AtomicStmt:
+			walk(x.Body)
+		case *ast.ForkStmt:
+			walk(x.Body)
+		}
+	}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+	return found
+}
+
+// lowerReturns rewrites every return in the inlined body into
+// "ret = val; done = true", guarding the statements that follow a
+// potential return with !done and strengthening loop conditions.
+func lowerReturns(b *ast.Block, retName, doneName string) error {
+	_, err := lowerReturnsBlock(b, retName, doneName)
+	return err
+}
+
+func lowerReturnsBlock(b *ast.Block, ret, done string) (bool, error) {
+	mayReturn := false
+	for i := 0; i < len(b.Stmts); i++ {
+		s := b.Stmts[i]
+		mr, repl, err := lowerReturnsStmt(s, ret, done)
+		if err != nil {
+			return false, err
+		}
+		if repl != nil {
+			b.Stmts[i] = repl
+		}
+		if mr {
+			mayReturn = true
+			if i < len(b.Stmts)-1 {
+				// Copy the tail: the append below overwrites the slot
+				// the tail slice would otherwise alias.
+				rest := &ast.Block{P: b.Stmts[i+1].Pos(), Stmts: append([]ast.Stmt(nil), b.Stmts[i+1:]...)}
+				if _, err := lowerReturnsBlock(rest, ret, done); err != nil {
+					return false, err
+				}
+				notDone := &ast.Unary{P: rest.P, Op: notOp, X: &ast.Ident{P: rest.P, Name: done}}
+				b.Stmts = append(b.Stmts[:i+1], &ast.IfStmt{P: rest.P, Cond: notDone, Then: rest})
+				return true, nil
+			}
+		}
+	}
+	return mayReturn, nil
+}
+
+func lowerReturnsStmt(s ast.Stmt, ret, done string) (bool, ast.Stmt, error) {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		blk := &ast.Block{P: x.P}
+		if x.Val != nil {
+			if ret == "" {
+				return false, nil, fmt.Errorf("%s: value returned from void function", x.P)
+			}
+			blk.Stmts = append(blk.Stmts, &ast.AssignStmt{P: x.P, LHS: &ast.Ident{P: x.P, Name: ret}, RHS: x.Val})
+		}
+		blk.Stmts = append(blk.Stmts, &ast.AssignStmt{P: x.P, LHS: &ast.Ident{P: x.P, Name: done}, RHS: &ast.BoolLit{P: x.P, Val: true}})
+		return true, blk, nil
+	case *ast.Block:
+		mr, err := lowerReturnsBlock(x, ret, done)
+		return mr, nil, err
+	case *ast.IfStmt:
+		mrT, err := lowerReturnsBlock(x.Then, ret, done)
+		if err != nil {
+			return false, nil, err
+		}
+		mrE := false
+		if x.Else != nil {
+			var repl ast.Stmt
+			mrE, repl, err = lowerReturnsStmt(x.Else, ret, done)
+			if err != nil {
+				return false, nil, err
+			}
+			if repl != nil {
+				x.Else = repl
+			}
+		}
+		return mrT || mrE, nil, nil
+	case *ast.WhileStmt:
+		mr, err := lowerReturnsBlock(x.Body, ret, done)
+		if err != nil {
+			return false, nil, err
+		}
+		if mr {
+			notDone := &ast.Unary{P: x.P, Op: notOp, X: &ast.Ident{P: x.P, Name: done}}
+			x.Cond = &ast.Binary{P: x.P, Op: andOp, X: notDone, Y: x.Cond}
+		}
+		return mr, nil, nil
+	case *ast.AtomicStmt:
+		if containsReturn(x.Body) {
+			return false, nil, fmt.Errorf("%s: return inside atomic is not supported", x.P)
+		}
+		return false, nil, nil
+	}
+	return false, nil, nil
+}
+
+// containsFork reports whether the block forks threads.
+func containsFork(b *ast.Block) bool {
+	found := false
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.ForkStmt:
+			found = true
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(x.Then)
+			walk(x.Else)
+		case *ast.WhileStmt:
+			walk(x.Body)
+		}
+	}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+	return found
+}
+
+// wrapResult rewrites a value-returning function body into straight
+// assignments to a fresh result variable, returning its name.
+func wrapResult(f *ast.FuncDecl) (string, error) {
+	const resultVar = "__result"
+	const doneVar = "__done"
+	pos := f.Body.P
+	decls := []ast.Stmt{
+		&ast.DeclStmt{P: pos, Type: f.Ret, Name: resultVar},
+	}
+	if containsReturn(f.Body) {
+		decls = append(decls, &ast.DeclStmt{
+			P: pos, Type: &ast.TypeExpr{P: pos, Name: "bool"}, Name: doneVar,
+			Init: &ast.BoolLit{P: pos, Val: false},
+		})
+		if err := lowerReturns(f.Body, resultVar, doneVar); err != nil {
+			return "", err
+		}
+	}
+	f.Body.Stmts = append(decls, f.Body.Stmts...)
+	return resultVar, nil
+}

@@ -1,0 +1,148 @@
+package desugar
+
+import (
+	"fmt"
+
+	"psketch/internal/ast"
+)
+
+// renamer performs scope-aware alpha-renaming of local variables so
+// that every local in a function body has a unique name. Globals and
+// function names are untouched. The inliner reuses it with a per-site
+// prefix and pre-seeded parameter bindings.
+type renamer struct {
+	d      *desugarer
+	prefix string
+	scopes []map[string]string
+	errs   []error
+}
+
+func (d *desugarer) newRenamer(prefix string, seed map[string]string) *renamer {
+	top := map[string]string{}
+	for k, v := range seed {
+		top[k] = v
+	}
+	return &renamer{d: d, prefix: prefix, scopes: []map[string]string{top}}
+}
+
+func (r *renamer) push() { r.scopes = append(r.scopes, map[string]string{}) }
+func (r *renamer) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *renamer) bind(name string) string {
+	n := r.d.fresh(r.prefix + name)
+	r.scopes[len(r.scopes)-1][name] = n
+	return n
+}
+
+func (r *renamer) lookup(name string) (string, bool) {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if n, ok := r.scopes[i][name]; ok {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// alphaRename uniquifies all locals declared in the function body.
+// Parameters keep their names (bound to themselves).
+func (d *desugarer) alphaRename(f *ast.FuncDecl) error {
+	seed := map[string]string{}
+	for _, p := range f.Params {
+		seed[p.Name] = p.Name
+	}
+	r := d.newRenamer("", seed)
+	r.renameBlockInPlace(f.Body)
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	return nil
+}
+
+// renameBody renames a cloned function body for inlining: parameters
+// are redirected per seed, and every local gets the site prefix.
+func (d *desugarer) renameBody(b *ast.Block, prefix string, seed map[string]string) error {
+	r := d.newRenamer(prefix, seed)
+	r.push()
+	for _, s := range b.Stmts {
+		r.renameStmt(s)
+	}
+	r.pop()
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	return nil
+}
+
+// renameBlockInPlace renames within a block, opening a child scope.
+func (r *renamer) renameBlockInPlace(b *ast.Block) {
+	if b == nil {
+		return
+	}
+	r.push()
+	for _, s := range b.Stmts {
+		r.renameStmt(s)
+	}
+	r.pop()
+}
+
+func (r *renamer) renameStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.Block:
+		r.renameBlockInPlace(x)
+	case *ast.DeclStmt:
+		r.renameExpr(x.Init)
+		x.Name = r.bind(x.Name)
+	case *ast.AssignStmt:
+		r.renameExpr(x.LHS)
+		r.renameExpr(x.RHS)
+	case *ast.IfStmt:
+		r.renameExpr(x.Cond)
+		r.renameBlockInPlace(x.Then)
+		r.renameStmt(x.Else)
+	case *ast.WhileStmt:
+		r.renameExpr(x.Cond)
+		r.renameBlockInPlace(x.Body)
+	case *ast.ReturnStmt:
+		r.renameExpr(x.Val)
+	case *ast.AssertStmt:
+		r.renameExpr(x.Cond)
+	case *ast.AtomicStmt:
+		r.renameExpr(x.Cond)
+		r.renameBlockInPlace(x.Body)
+	case *ast.ForkStmt:
+		r.renameExpr(x.N)
+		r.push()
+		old := x.Var
+		x.Var = r.bind(old)
+		for _, s2 := range x.Body.Stmts {
+			r.renameStmt(s2)
+		}
+		r.pop()
+	case *ast.ReorderStmt:
+		// The reorder block's statements share one scope with each
+		// other but declarations inside it are visible only there.
+		r.renameBlockInPlace(x.Body)
+	case *ast.RepeatStmt:
+		r.renameExpr(x.Count)
+		r.push()
+		r.renameStmt(x.Body)
+		r.pop()
+	case *ast.LockStmt:
+		r.renameExpr(x.Target)
+	case *ast.ExprStmt:
+		r.renameExpr(x.X)
+	default:
+		r.errs = append(r.errs, fmt.Errorf("rename: unhandled statement %T", s))
+	}
+}
+
+func (r *renamer) renameExpr(e ast.Expr) {
+	ast.WalkExpr(e, func(x ast.Expr) {
+		if id, ok := x.(*ast.Ident); ok {
+			if n, bound := r.lookup(id.Name); bound {
+				id.Name = n
+			}
+		}
+	})
+}

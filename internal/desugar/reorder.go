@@ -1,0 +1,254 @@
+package desugar
+
+import (
+	"fmt"
+	"sort"
+
+	"psketch/internal/ast"
+	"psketch/internal/token"
+)
+
+// encodeReorders rewrites every reorder block in b using the selected
+// encoding of §7.2 and returns the side constraints it generated.
+// Nested reorder blocks are encoded innermost-first.
+func (d *desugarer) encodeReorders(b *ast.Block) ([]ast.Expr, error) {
+	var cons []ast.Expr
+	if err := d.encodeReordersIn(b, &cons); err != nil {
+		return nil, err
+	}
+	return cons, nil
+}
+
+func (d *desugarer) encodeReordersIn(b *ast.Block, cons *[]ast.Expr) error {
+	if b == nil {
+		return nil
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		rs, err := d.encodeReorderStmt(s, cons)
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+	}
+	b.Stmts = out
+	return nil
+}
+
+func (d *desugarer) encodeReorderStmt(s ast.Stmt, cons *[]ast.Expr) ([]ast.Stmt, error) {
+	switch x := s.(type) {
+	case *ast.ReorderStmt:
+		if err := d.encodeReordersIn(x.Body, cons); err != nil {
+			return nil, err
+		}
+		return d.encodeOneReorder(x, cons)
+	case *ast.Block:
+		if err := d.encodeReordersIn(x, cons); err != nil {
+			return nil, err
+		}
+	case *ast.IfStmt:
+		if err := d.encodeReordersIn(x.Then, cons); err != nil {
+			return nil, err
+		}
+		if x.Else != nil {
+			rs, err := d.encodeReorderStmt(x.Else, cons)
+			if err != nil {
+				return nil, err
+			}
+			if len(rs) == 1 {
+				x.Else = rs[0]
+			} else {
+				x.Else = &ast.Block{P: x.P, Stmts: rs}
+			}
+		}
+	case *ast.WhileStmt:
+		if err := d.encodeReordersIn(x.Body, cons); err != nil {
+			return nil, err
+		}
+	case *ast.AtomicStmt:
+		if len(collectReorders(x.Body)) > 0 {
+			return nil, fmt.Errorf("%s: reorder inside atomic is not supported", x.P)
+		}
+	case *ast.ForkStmt:
+		if err := d.encodeReordersIn(x.Body, cons); err != nil {
+			return nil, err
+		}
+	}
+	return []ast.Stmt{s}, nil
+}
+
+func collectReorders(b *ast.Block) []*ast.ReorderStmt {
+	var rs []*ast.ReorderStmt
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.ReorderStmt:
+			rs = append(rs, x)
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(x.Then)
+			walk(x.Else)
+		case *ast.WhileStmt:
+			walk(x.Body)
+		case *ast.AtomicStmt:
+			walk(x.Body)
+		case *ast.ForkStmt:
+			walk(x.Body)
+		}
+	}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+	return rs
+}
+
+func (d *desugarer) encodeOneReorder(x *ast.ReorderStmt, cons *[]ast.Expr) ([]ast.Stmt, error) {
+	stmts := x.Body.Stmts
+	k := len(stmts)
+	if k <= 1 {
+		return stmts, nil
+	}
+	// Declarations cannot be reordered meaningfully (a use before the
+	// chosen position would be out of scope); hoist is unsupported, so
+	// require plain statements.
+	for _, s := range stmts {
+		if _, isDecl := s.(*ast.DeclStmt); isDecl {
+			return nil, fmt.Errorf("%s: declarations inside reorder are not supported; declare before the block", s.Pos())
+		}
+	}
+	if d.opts.Encoding == EncodeQuadratic {
+		return d.encodeQuadratic(x, stmts, cons), nil
+	}
+	return d.encodeInsertion(x, stmts, cons), nil
+}
+
+// encodeQuadratic is the k² encoding: k index holes forming a
+// permutation (enforced by side constraints), and k rounds each
+// dispatching on its index hole.
+func (d *desugarer) encodeQuadratic(x *ast.ReorderStmt, stmts []ast.Stmt, cons *[]ast.Expr) []ast.Stmt {
+	k := len(stmts)
+	holes := make([]*ast.Hole, k)
+	for i := range holes {
+		holes[i] = &ast.Hole{P: x.P, Width: bitsFor(k), ID: d.nextID()}
+		if rc := rangeConstraint(holes[i], k-1); rc != nil {
+			*cons = append(*cons, rc)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			*cons = append(*cons, &ast.Binary{P: x.P, Op: token.NEQ, X: holes[i], Y: holes[j]})
+		}
+	}
+	var out []ast.Stmt
+	for round := 0; round < k; round++ {
+		for j := 0; j < k; j++ {
+			var body ast.Stmt
+			if round == 0 {
+				body = stmts[j]
+			} else {
+				body = ast.NewCloner(ast.CloneShare).Stmt(stmts[j])
+			}
+			blk, ok := body.(*ast.Block)
+			if !ok {
+				blk = &ast.Block{P: x.P, Stmts: []ast.Stmt{body}}
+			}
+			cond := &ast.Binary{P: x.P, Op: token.EQ, X: holes[round], Y: &ast.IntLit{P: x.P, Val: int64(j)}}
+			out = append(out, &ast.IfStmt{P: x.P, Cond: cond, Then: blk})
+		}
+	}
+	return out
+}
+
+// encodeInsertion is the exponential encoding of §7.2: statements are
+// inserted one at a time; inserting statement m into a textual list of
+// length L uses one hole with L+1 possible positions and adds L+1
+// guarded copies of the statement.
+func (d *desugarer) encodeInsertion(x *ast.ReorderStmt, stmts []ast.Stmt, cons *[]ast.Expr) []ast.Stmt {
+	// Later insertions get more textual copies, so process the
+	// expensive statements first (§7.2: "as long as we add them in the
+	// right order").
+	stmts = append([]ast.Stmt(nil), stmts...)
+	sortBySizeDesc(stmts)
+	list := []ast.Stmt{stmts[0]}
+	for m := 1; m < len(stmts); m++ {
+		L := len(list)
+		h := &ast.Hole{P: x.P, Width: bitsFor(L + 1), ID: d.nextID()}
+		if rc := rangeConstraint(h, L); rc != nil {
+			*cons = append(*cons, rc)
+		}
+		guarded := func(pos int, first bool) ast.Stmt {
+			var body ast.Stmt
+			if first {
+				body = stmts[m]
+			} else {
+				body = ast.NewCloner(ast.CloneShare).Stmt(stmts[m])
+			}
+			blk, ok := body.(*ast.Block)
+			if !ok {
+				blk = &ast.Block{P: x.P, Stmts: []ast.Stmt{body}}
+			}
+			cond := &ast.Binary{P: x.P, Op: token.EQ, X: h, Y: &ast.IntLit{P: x.P, Val: int64(pos)}}
+			return &ast.IfStmt{P: x.P, Cond: cond, Then: blk}
+		}
+		next := make([]ast.Stmt, 0, 2*L+1)
+		for i := 0; i < L; i++ {
+			next = append(next, guarded(i, i == 0))
+			next = append(next, list[i])
+		}
+		next = append(next, guarded(L, false))
+		list = next
+	}
+	return list
+}
+
+// stmtSize estimates the textual weight of a statement.
+func stmtSize(s ast.Stmt) int {
+	n := 1
+	ast.WalkExprs(s, func(ast.Expr) { n++ })
+	switch x := s.(type) {
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			n += stmtSize(st)
+		}
+	case *ast.IfStmt:
+		n += stmtSize(x.Then)
+		if x.Else != nil {
+			n += stmtSize(x.Else)
+		}
+	case *ast.WhileStmt:
+		n += stmtSize(x.Body)
+	case *ast.AtomicStmt:
+		n += stmtSize(x.Body)
+	}
+	return n
+}
+
+// sortBySizeDesc stably orders statements from largest to smallest.
+func sortBySizeDesc(stmts []ast.Stmt) {
+	sort.SliceStable(stmts, func(i, j int) bool {
+		return stmtSize(stmts[i]) > stmtSize(stmts[j])
+	})
+}
+
+// rangeConstraint builds a wrap-safe "h ∈ [0, max]" side condition.
+// Order comparisons on W-bit ints wrap (h <= 31 at W=5 means h <= -1),
+// so the range is expressed as a disjunction of equalities — or elided
+// entirely when the hole's bit width already enforces it.
+func rangeConstraint(h *ast.Hole, max int) ast.Expr {
+	if (1<<h.Width)-1 <= max {
+		return nil
+	}
+	var or ast.Expr
+	for v := 0; v <= max; v++ {
+		eq := ast.Expr(&ast.Binary{P: h.P, Op: token.EQ, X: h, Y: &ast.IntLit{P: h.P, Val: int64(v)}})
+		if or == nil {
+			or = eq
+		} else {
+			or = &ast.Binary{P: h.P, Op: token.LOR, X: or, Y: eq}
+		}
+	}
+	return or
+}

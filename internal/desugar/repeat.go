@@ -1,0 +1,120 @@
+package desugar
+
+import (
+	"fmt"
+
+	"psketch/internal/ast"
+	"psketch/internal/token"
+)
+
+// expandRepeatsIn rewrites every repeat(n) statement in the block into
+// n replicas of its body, each with fresh holes (§3). repeat(??)
+// expands to MaxRepeat replicas guarded by `i < h` for a fresh count
+// hole h, with the side constraint h <= MaxRepeat (fname keys the
+// constraint to its function).
+func (d *desugarer) expandRepeatsIn(b *ast.Block, fname string) error {
+	if b == nil {
+		return nil
+	}
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		rs, err := d.expandRepeatStmt(s, fname)
+		if err != nil {
+			return err
+		}
+		out = append(out, rs...)
+	}
+	b.Stmts = out
+	return nil
+}
+
+// expandRepeatStmt returns the replacement statements for s.
+func (d *desugarer) expandRepeatStmt(s ast.Stmt, fname string) ([]ast.Stmt, error) {
+	switch x := s.(type) {
+	case *ast.RepeatStmt:
+		return d.expandOneRepeat(x, fname)
+	case *ast.Block:
+		if err := d.expandRepeatsIn(x, fname); err != nil {
+			return nil, err
+		}
+	case *ast.IfStmt:
+		if err := d.expandRepeatsIn(x.Then, fname); err != nil {
+			return nil, err
+		}
+		if x.Else != nil {
+			rs, err := d.expandRepeatStmt(x.Else, fname)
+			if err != nil {
+				return nil, err
+			}
+			if len(rs) == 1 {
+				x.Else = rs[0]
+			} else {
+				x.Else = &ast.Block{P: x.P, Stmts: rs}
+			}
+		}
+	case *ast.WhileStmt:
+		if err := d.expandRepeatsIn(x.Body, fname); err != nil {
+			return nil, err
+		}
+	case *ast.AtomicStmt:
+		if err := d.expandRepeatsIn(x.Body, fname); err != nil {
+			return nil, err
+		}
+	case *ast.ForkStmt:
+		if err := d.expandRepeatsIn(x.Body, fname); err != nil {
+			return nil, err
+		}
+	case *ast.ReorderStmt:
+		if err := d.expandRepeatsIn(x.Body, fname); err != nil {
+			return nil, err
+		}
+	}
+	return []ast.Stmt{s}, nil
+}
+
+func (d *desugarer) expandOneRepeat(x *ast.RepeatStmt, fname string) ([]ast.Stmt, error) {
+	// Expand repeats nested inside the body first, so that each replica
+	// of an inner repeat gets its own fresh holes.
+	inner, err := d.expandRepeatStmt(x.Body, fname)
+	if err != nil {
+		return nil, err
+	}
+	body := x.Body
+	if len(inner) != 1 {
+		body = &ast.Block{P: x.P, Stmts: inner}
+	} else {
+		body = inner[0]
+	}
+
+	switch cnt := x.Count.(type) {
+	case *ast.IntLit:
+		n := int(cnt.Val)
+		if n < 0 || n > 64 {
+			return nil, fmt.Errorf("%s: repeat count %d out of range [0,64]", x.P, n)
+		}
+		out := make([]ast.Stmt, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, ast.NewCloner(ast.CloneFresh).Stmt(body))
+		}
+		return out, nil
+	case *ast.Hole:
+		m := d.opts.MaxRepeat
+		h := &ast.Hole{P: x.P, Width: bitsFor(m + 1), ID: -1}
+		d.holeCard[h] = int64(m + 1)
+		if rc := rangeConstraint(h, m); rc != nil {
+			d.addConstraint(fname, rc)
+		}
+		out := make([]ast.Stmt, 0, m)
+		for i := 0; i < m; i++ {
+			replica := ast.NewCloner(ast.CloneFresh).Stmt(body)
+			guard := &ast.Binary{P: x.P, Op: token.LT, X: &ast.IntLit{P: x.P, Val: int64(i)}, Y: h}
+			blk, ok := replica.(*ast.Block)
+			if !ok {
+				blk = &ast.Block{P: x.P, Stmts: []ast.Stmt{replica}}
+			}
+			out = append(out, &ast.IfStmt{P: x.P, Cond: guard, Then: blk})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%s: repeat count must be an integer literal or ??", x.P)
+}

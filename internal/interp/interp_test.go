@@ -1,0 +1,332 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/parser"
+	"psketch/internal/state"
+)
+
+// run lowers a sequential function, binds its int params, runs it to
+// completion and returns the result (or the failure).
+func run(t *testing.T, src string, opts desugar.Options, args ...int32) (int32, *Failure) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "F", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := state.NewLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.NewState()
+	seq := p.Prologue
+	for i, in := range p.Inputs {
+		st.Cells[l.LocalOff(seq, seq.Local(in.Name))] = args[i]
+	}
+	cand := make(desugar.Candidate, len(sk.Holes))
+	for _, sq := range []*ir.Seq{p.GlobalInit, seq} {
+		ctx := NewCtx(l, st, sq, cand)
+		for _, step := range sq.Steps {
+			ok, f := ctx.EvalGuards(step)
+			if f != nil {
+				return 0, f
+			}
+			if !ok {
+				continue
+			}
+			if f := ctx.ExecBody(step); f != nil {
+				return 0, f
+			}
+		}
+	}
+	return st.Cells[l.LocalOff(seq, seq.Local(p.ResultVar))], nil
+}
+
+// W-bit two's-complement arithmetic must match the mathematical value
+// wrapped into range.
+func TestArithmeticWrapProperty(t *testing.T) {
+	const w = 5
+	wrap := func(v int64) int32 {
+		v &= (1 << w) - 1
+		if v >= 1<<(w-1) {
+			v -= 1 << w
+		}
+		return int32(v)
+	}
+	src := `
+int F(int a, int b) {
+	int s = a + b;
+	int d = a - b;
+	int m = a * b;
+	return s + d * m;
+}
+`
+	f := func(a, b int8) bool {
+		av, bv := wrap(int64(a)), wrap(int64(b))
+		got, fail := run(t, src, desugar.Options{IntWidth: w}, av, bv)
+		if fail != nil {
+			return false
+		}
+		s := wrap(int64(av) + int64(bv))
+		d := wrap(int64(av) - int64(bv))
+		m := wrap(int64(av) * int64(bv))
+		return got == wrap(int64(s)+int64(d)*int64(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	src := `int F(int a, int b) { return a / b + a % b; }`
+	cases := []struct{ a, b, want int32 }{
+		{7, 2, 3 + 1},
+		{-7, 2, -3 + -1}, // Go truncated division
+		{7, -2, -3 + 1},
+		{0, 5, 0},
+	}
+	for _, c := range cases {
+		got, fail := run(t, src, desugar.Options{IntWidth: 5}, c.a, c.b)
+		if fail != nil || got != c.want {
+			t.Errorf("%d/%d: got %d fail=%v want %d", c.a, c.b, got, fail, c.want)
+		}
+	}
+	if _, fail := run(t, src, desugar.Options{IntWidth: 5}, 3, 0); fail == nil || fail.Kind != FailDiv {
+		t.Fatalf("division by zero: %v", fail)
+	}
+}
+
+func TestShortCircuitEffects(t *testing.T) {
+	src := `
+int g = 0;
+int F(int a) {
+	bool x = a == 0 && AtomicSwap(g, 5) == 0;
+	x = x;
+	return g;
+}
+`
+	got, fail := run(t, src, desugar.Options{}, 1)
+	if fail != nil || got != 0 {
+		t.Fatalf("rhs evaluated despite short circuit: g=%d fail=%v", got, fail)
+	}
+	got, fail = run(t, src, desugar.Options{}, 0)
+	if fail != nil || got != 5 {
+		t.Fatalf("rhs not evaluated: g=%d fail=%v", got, fail)
+	}
+}
+
+func TestHeapAndBuiltins(t *testing.T) {
+	src := `
+struct N { N next = null; int v; }
+N head;
+int F(int a) {
+	N n1 = new N(a);
+	N n2 = new N(a + 1);
+	n1.next = n2;
+	head = n1;
+	int acc = head.next.v;
+	N old = AtomicSwap(head, n2);
+	if (old == n1) { acc = acc + 10; }
+	bool did = CAS(head.next, null, n1);
+	if (did) { acc = acc + 100; }
+	return acc + head.next.v;
+}
+`
+	// acc = a+1; swap: head=n2, old=n1 → +10; n2.next == null → CAS
+	// sets head.next=n1 → +100; head.next.v = a.
+	got, fail := run(t, src, desugar.Options{IntWidth: 8}, 3)
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if got != 4+10+100+3 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArrayBoundsAndBroadcast(t *testing.T) {
+	src := `
+int F(int a) {
+	int[4] xs = 3;
+	xs[2] = a;
+	return xs[0] + xs[2];
+}
+`
+	got, fail := run(t, src, desugar.Options{}, 9)
+	if fail != nil || got != 12 {
+		t.Fatalf("got %d fail=%v", got, fail)
+	}
+	oob := `int F(int a) { int[4] xs = 0; return xs[a]; }`
+	if _, fail := run(t, oob, desugar.Options{}, 7); fail == nil || fail.Kind != FailBounds {
+		t.Fatalf("oob: %v", fail)
+	}
+}
+
+func TestNullDereference(t *testing.T) {
+	src := `
+struct N { N next = null; int v = 0; }
+int F(int a) {
+	N n = null;
+	return n.v;
+}
+`
+	if _, fail := run(t, src, desugar.Options{}, 0); fail == nil || fail.Kind != FailNull {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	src := `int F(int a) { assert a != 3; return a; }`
+	if _, fail := run(t, src, desugar.Options{}, 3); fail == nil || fail.Kind != FailAssert {
+		t.Fatalf("got %v", fail)
+	}
+	if _, fail := run(t, src, desugar.Options{}, 4); fail != nil {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestBitArraysAndCast(t *testing.T) {
+	src := `
+int F(int a) {
+	bit[4] b = "1010";
+	int packed = (int) b[0::4];
+	bit one = b[2];
+	if (one) { packed = packed + 100; }
+	return packed;
+}
+`
+	// "1010" read left-to-right: cells [1,0,1,0]; bit 0 is the LSB →
+	// packed = 1 + 4 = 5; b[2] = 1 → +100 → wraps at width 6? 105 > 31.
+	got, fail := run(t, src, desugar.Options{IntWidth: 8}, 0)
+	if fail != nil || got != 105 {
+		t.Fatalf("got %d fail=%v", got, fail)
+	}
+}
+
+// Generators resolve by candidate choice, both as values and as
+// assignment targets and swap locations.
+func TestRegenResolution(t *testing.T) {
+	src := `
+int a = 0;
+int b = 0;
+int F(int x) {
+	{| a | b |} = x;
+	int old = AtomicSwap({| a | b |}, 7);
+	return a * 16 + b + old;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "F", desugar.Options{IntWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := state.NewLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(cand desugar.Candidate, x int32) int32 {
+		st := l.NewState()
+		seq := p.Prologue
+		st.Cells[l.LocalOff(seq, seq.Local("x"))] = x
+		for _, sq := range []*ir.Seq{p.GlobalInit, seq} {
+			ctx := NewCtx(l, st, sq, cand)
+			for _, step := range sq.Steps {
+				ok, f := ctx.EvalGuards(step)
+				if f != nil {
+					t.Fatal(f)
+				}
+				if !ok {
+					continue
+				}
+				if f := ctx.ExecBody(step); f != nil {
+					t.Fatal(f)
+				}
+			}
+		}
+		return st.Cells[l.LocalOff(seq, seq.Local(p.ResultVar))]
+	}
+	// choice (0,0): a = x; old = swap(a,7) = x → a=7,b=0 → 7*16 + 0 + x.
+	if got := runWith(desugar.Candidate{0, 0}, 3); got != 7*16+0+3 {
+		t.Fatalf("choice (0,0): got %d", got)
+	}
+	// choice (1,1): b = x; old = swap(b,7) = x → a=0,b=7 → 0 + 7 + x.
+	if got := runWith(desugar.Candidate{1, 1}, 3); got != 7+3 {
+		t.Fatalf("choice (1,1): got %d", got)
+	}
+	// choice (0,1): a = x; old = swap(b,7) = 0 → a=x,b=7 → 16x + 7.
+	if got := runWith(desugar.Candidate{0, 1}, 3); got != 3*16+7 {
+		t.Fatalf("choice (0,1): got %d", got)
+	}
+}
+
+func TestHoleEvaluation(t *testing.T) {
+	src := `
+int F(int x) {
+	bool b = ??;
+	int c = ??(3);
+	if (b) { return x + c; }
+	return x - c;
+}
+`
+	prog, _ := parser.Parse(src)
+	sk, err := desugar.Desugar(prog, "F", desugar.Options{IntWidth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ir.Lower(sk)
+	l, _ := state.NewLayout(p)
+	run := func(cand desugar.Candidate) int32 {
+		st := l.NewState()
+		seq := p.Prologue
+		st.Cells[l.LocalOff(seq, seq.Local("x"))] = 10
+		ctx := NewCtx(l, st, seq, cand)
+		for _, step := range seq.Steps {
+			ok, f := ctx.EvalGuards(step)
+			if f != nil {
+				t.Fatal(f)
+			}
+			if !ok {
+				continue
+			}
+			if f := ctx.ExecBody(step); f != nil {
+				t.Fatal(f)
+			}
+		}
+		return st.Cells[l.LocalOff(seq, seq.Local(p.ResultVar))]
+	}
+	// Hole order: b first, then c.
+	if got := run(desugar.Candidate{1, 5}); got != 15 {
+		t.Fatalf("b=1 c=5: got %d", got)
+	}
+	if got := run(desugar.Candidate{0, 5}); got != 5 {
+		t.Fatalf("b=0 c=5: got %d", got)
+	}
+}
+
+func TestFailureStrings(t *testing.T) {
+	kinds := []FailKind{FailAssert, FailNull, FailBounds, FailDiv, FailDeadlock}
+	for _, k := range kinds {
+		f := &Failure{Kind: k, Msg: "ctx"}
+		if f.Error() == "" || k.String() == "failure" {
+			t.Fatalf("kind %d has no description", k)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"fmt"
+
+	"psketch/internal/ast"
+	"psketch/internal/token"
+)
+
+// classification of an expression for step granularity decisions.
+type class struct {
+	shared  bool // reads globals or the heap
+	effects bool // performs writes/allocation (builtins, new)
+}
+
+// classify analyses which state an expression touches. Globals are
+// shared; locals, holes and literals are not. Field accesses always
+// touch the heap; array indexing is shared only when the array is a
+// global.
+func (lo *lowerer) classify(e ast.Expr) class {
+	var c class
+	ast.WalkExpr(e, func(x ast.Expr) {
+		switch n := x.(type) {
+		case *ast.Ident:
+			if !lo.isLocal(n.Name) && n.Name != TidVar {
+				c.shared = true
+			}
+		case *ast.FieldExpr:
+			c.shared = true
+		case *ast.CallExpr:
+			c.shared = true
+			c.effects = true
+		case *ast.NewExpr:
+			c.shared = true
+			c.effects = true
+		}
+	})
+	return c
+}
+
+// classifyStmt extends classify to statements, treating writes to
+// globals, heap fields, and global arrays as shared.
+func (lo *lowerer) classifyStmt(s ast.Stmt) class {
+	var c class
+	merge := func(o class) {
+		c.shared = c.shared || o.shared
+		c.effects = c.effects || o.effects
+	}
+	switch x := s.(type) {
+	case nil:
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			merge(lo.classifyStmt(st))
+		}
+	case *ast.DeclStmt:
+		merge(lo.classify(x.Init))
+	case *ast.AssignStmt:
+		merge(lo.classify(x.LHS))
+		merge(lo.classify(x.RHS))
+	case *ast.AssertStmt:
+		merge(lo.classify(x.Cond))
+	case *ast.IfStmt:
+		merge(lo.classify(x.Cond))
+		merge(lo.classifyStmt(x.Then))
+		merge(lo.classifyStmt(x.Else))
+	case *ast.ExprStmt:
+		merge(lo.classify(x.X))
+	default:
+		c.shared, c.effects = true, true
+	}
+	return c
+}
+
+// evalConstInt folds an integer expression made of literals and
+// arithmetic (used for fork thread counts).
+func evalConstInt(e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, nil
+	case *ast.Unary:
+		if x.Op == token.SUB {
+			v, err := evalConstInt(x.X)
+			return -v, err
+		}
+	case *ast.Binary:
+		a, err := evalConstInt(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalConstInt(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, nil
+		case token.SUB:
+			return a - b, nil
+		case token.MUL:
+			return a * b, nil
+		case token.QUO:
+			if b == 0 {
+				return 0, fmt.Errorf("%s: division by zero in constant", x.P)
+			}
+			return a / b, nil
+		case token.REM:
+			if b == 0 {
+				return 0, fmt.Errorf("%s: division by zero in constant", x.P)
+			}
+			return a % b, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: expected a compile-time integer constant", e.Pos())
+}

@@ -1,0 +1,295 @@
+// Package lexer implements the PSketch scanner and its small C-style
+// macro preprocessor (#define NAME body, #define NAME(a,b) body).
+//
+// Macro expansion is textual at the token level, which gives the
+// semantics the paper relies on: every expansion of a macro containing
+// a hole or a generator yields a *fresh* hole, so the three uses of
+// aLocation in the Enqueue sketch of Figure 1 are chosen independently.
+package lexer
+
+import (
+	"strings"
+
+	"psketch/internal/token"
+)
+
+// Scanner turns source text into tokens.
+type Scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// NewScanner returns a scanner over src.
+func NewScanner(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+// Errs returns the scan errors encountered so far.
+func (s *Scanner) Errs() []error { return s.errs }
+
+func (s *Scanner) pos() token.Pos {
+	return token.Pos{Offset: s.off, Line: s.line, Col: s.col}
+}
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+1]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) errorf(pos token.Pos, format string, args ...any) {
+	s.errs = append(s.errs, token.Errorf(pos, format, args...))
+}
+
+// skipSpace skips whitespace and comments. If stopAtNewline is true it
+// stops before consuming a newline (used while reading #define bodies).
+func (s *Scanner) skipSpace(stopAtNewline bool) {
+	for s.off < len(s.src) {
+		c := s.peek()
+		switch {
+		case c == '\n' && stopAtNewline:
+			return
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance()
+		case c == '/' && s.peek2() == '/':
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peek2() == '*':
+			start := s.pos()
+			s.advance()
+			s.advance()
+			closed := false
+			for s.off < len(s.src) {
+				if s.peek() == '*' && s.peek2() == '/' {
+					s.advance()
+					s.advance()
+					closed = true
+					break
+				}
+				s.advance()
+			}
+			if !closed {
+				s.errorf(start, "unterminated block comment")
+			}
+		case c == '\\' && s.peek2() == '\n' && stopAtNewline:
+			// Line continuation inside a #define body.
+			s.advance()
+			s.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next scans the next token. #define lines are surfaced as a DEFINE
+// token followed by the name and a BITS-free raw body via ScanDefine;
+// the Lex entry point below handles them.
+func (s *Scanner) Next() token.Token {
+	s.skipSpace(false)
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := s.peek()
+	switch {
+	case isLetter(c):
+		start := s.off
+		for s.off < len(s.src) && (isLetter(s.peek()) || isDigit(s.peek())) {
+			s.advance()
+		}
+		lit := s.src[start:s.off]
+		if k, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: k, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+	case isDigit(c):
+		start := s.off
+		for s.off < len(s.src) && isDigit(s.peek()) {
+			s.advance()
+		}
+		return token.Token{Kind: token.INT, Lit: s.src[start:s.off], Pos: pos}
+	}
+	s.advance()
+	two := func(next byte, k2 token.Kind, k1 token.Kind) token.Token {
+		if s.peek() == next {
+			s.advance()
+			return token.Token{Kind: k2, Pos: pos}
+		}
+		return token.Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return token.Token{Kind: token.ADD, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.SUB, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.MUL, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.QUO, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.REM, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		return two('=', token.GEQ, token.GT)
+	case '&':
+		if s.peek() == '&' {
+			s.advance()
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		s.errorf(pos, "unexpected character %q (did you mean &&?)", string(c))
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	case '|':
+		if s.peek() == '|' {
+			s.advance()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		s.errorf(pos, "unexpected character %q (did you mean ||?)", string(c))
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		if s.peek() == '|' {
+			s.advance()
+			return s.scanRegen(pos)
+		}
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case ':':
+		if s.peek() == ':' {
+			s.advance()
+			return token.Token{Kind: token.COLON2, Pos: pos}
+		}
+		s.errorf(pos, "unexpected character %q", string(c))
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	case '?':
+		if s.peek() == '?' {
+			s.advance()
+			return token.Token{Kind: token.HOLE, Pos: pos}
+		}
+		// A lone ? is the optional operator inside regex generators; it
+		// never appears in plain code.
+		s.errorf(pos, "unexpected character %q outside a generator", string(c))
+		return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+	case '"':
+		start := s.off
+		for s.off < len(s.src) && s.peek() != '"' && s.peek() != '\n' {
+			s.advance()
+		}
+		if s.peek() != '"' {
+			s.errorf(pos, "unterminated bit-string literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: pos}
+		}
+		lit := s.src[start:s.off]
+		s.advance() // closing quote
+		return token.Token{Kind: token.BITS, Lit: lit, Pos: pos}
+	case '#':
+		start := s.off
+		for s.off < len(s.src) && isLetter(s.peek()) {
+			s.advance()
+		}
+		if s.src[start:s.off] == "define" {
+			return token.Token{Kind: token.DEFINE, Pos: pos}
+		}
+		s.errorf(pos, "unknown directive #%s", s.src[start:s.off])
+		return token.Token{Kind: token.ILLEGAL, Lit: "#" + s.src[start:s.off], Pos: pos}
+	}
+	s.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// scanRegen scans the body of a {| ... |} generator, handling nesting.
+func (s *Scanner) scanRegen(pos token.Pos) token.Token {
+	start := s.off
+	depth := 1
+	for s.off < len(s.src) {
+		if s.peek() == '{' && s.peek2() == '|' {
+			depth++
+			s.advance()
+			s.advance()
+			continue
+		}
+		if s.peek() == '|' && s.peek2() == '}' {
+			depth--
+			if depth == 0 {
+				lit := s.src[start:s.off]
+				s.advance()
+				s.advance()
+				return token.Token{Kind: token.REGEN, Lit: strings.TrimSpace(lit), Pos: pos}
+			}
+			s.advance()
+			s.advance()
+			continue
+		}
+		s.advance()
+	}
+	s.errorf(pos, "unterminated generator {| ... |}")
+	return token.Token{Kind: token.ILLEGAL, Pos: pos}
+}
+
+// restOfLine returns the raw remainder of the current line (for #define
+// bodies), honoring backslash-newline continuations.
+func (s *Scanner) restOfLine() string {
+	var b strings.Builder
+	for s.off < len(s.src) {
+		c := s.peek()
+		if c == '\\' && s.peek2() == '\n' {
+			s.advance()
+			s.advance()
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(s.advance())
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	var ks []token.Kind
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	ks := kinds(t, "int x = 3; x = x + 1;")
+	want := []token.Kind{
+		token.KwInt, token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.IDENT, token.ASSIGN, token.IDENT, token.ADD, token.INT, token.SEMI,
+		token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v want %v", ks, want)
+	}
+	for i := range ks {
+		if ks[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	ks := kinds(t, "== != <= >= < > && || ! :: = ??")
+	want := []token.Kind{
+		token.EQ, token.NEQ, token.LEQ, token.GEQ, token.LT, token.GT,
+		token.LAND, token.LOR, token.NOT, token.COLON2, token.ASSIGN, token.HOLE,
+		token.EOF,
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	ks := kinds(t, "a // line comment ??\n/* block {| |} */ b")
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v", ks)
+	}
+}
+
+func TestRegenToken(t *testing.T) {
+	toks, err := Lex("x = {| tail(.next)? | null |};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.REGEN {
+		t.Fatalf("got %v", toks[2])
+	}
+	if toks[2].Lit != "tail(.next)? | null" {
+		t.Fatalf("regen body %q", toks[2].Lit)
+	}
+}
+
+func TestNestedRegen(t *testing.T) {
+	toks, err := Lex("x = {| a == {| b | c |} |};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.REGEN || !strings.Contains(toks[2].Lit, "{| b | c |}") {
+		t.Fatalf("got %v %q", toks[2].Kind, toks[2].Lit)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	toks, err := Lex(`b = "1100";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.BITS || toks[2].Lit != "1100" {
+		t.Fatalf("got %v %q", toks[2].Kind, toks[2].Lit)
+	}
+}
+
+func TestObjectMacro(t *testing.T) {
+	toks, err := Lex("#define LOC tail.next\nx = LOC;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	for _, tk := range toks {
+		lits = append(lits, tk.String())
+	}
+	got := strings.Join(lits[:len(lits)-1], " ")
+	if got != "x = tail . next ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParamMacro(t *testing.T) {
+	toks, err := Lex("#define SWAP(a, b) a = b\nSWAP(x, y + 1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	for _, tk := range toks[:len(toks)-1] {
+		lits = append(lits, tk.String())
+	}
+	if strings.Join(lits, " ") != "x = y + 1 ;" {
+		t.Fatalf("got %q", strings.Join(lits, " "))
+	}
+}
+
+// The Figure 1 idiom: a macro argument that is itself a generator macro
+// must splice into the generator literal of the callee's body.
+func TestMacroIntoRegen(t *testing.T) {
+	src := `#define aValue {| x | y |}
+#define anExpr(p, q) {| p == q | false |}
+if (anExpr(tmp, aValue)) { }`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regen string
+	for _, tk := range toks {
+		if tk.Kind == token.REGEN {
+			regen = tk.Lit
+		}
+	}
+	flat := strings.Join(strings.Fields(regen), " ")
+	if !strings.Contains(flat, "tmp == {|x | y|}") {
+		t.Fatalf("substitution failed: %q", regen)
+	}
+}
+
+func TestMacroRecursionRejected(t *testing.T) {
+	if _, err := Lex("#define A B\n#define B A\nx = A;"); err == nil {
+		t.Fatal("expected recursion error")
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	toks, err := Lex("#define M a + \\\n b\nx = M;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	for _, tk := range toks[:len(toks)-1] {
+		lits = append(lits, tk.String())
+	}
+	if strings.Join(lits, " ") != "x = a + b ;" {
+		t.Fatalf("got %q", strings.Join(lits, " "))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"x = {| a ;", // unterminated generator
+		`s = "110`,   // unterminated bit string
+		"a & b",      // single &
+		"a | b",      // single |
+		"#oops",      // unknown directive
+	} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("bb at %v", toks[1].Pos)
+	}
+}

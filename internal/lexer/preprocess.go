@@ -1,0 +1,283 @@
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/token"
+)
+
+// macro is one #define. Params is nil for object-like macros.
+type macro struct {
+	name   string
+	params []string // nil => object-like
+	body   []token.Token
+}
+
+// Lex scans src, processes #define directives, expands macro uses, and
+// returns the fully expanded token stream terminated by EOF.
+func Lex(src string) ([]token.Token, error) {
+	s := NewScanner(src)
+	macros := map[string]*macro{}
+	var raw []token.Token
+	for {
+		t := s.Next()
+		if t.Kind == token.DEFINE {
+			if err := scanDefine(s, macros); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw = append(raw, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	if errs := s.Errs(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return expand(raw, macros, 0)
+}
+
+// scanDefine parses "#define NAME body" or "#define NAME(a,b) body".
+// The body runs to end of line (with backslash continuations).
+func scanDefine(s *Scanner, macros map[string]*macro) error {
+	nameTok := s.Next()
+	if nameTok.Kind != token.IDENT {
+		return token.Errorf(nameTok.Pos, "#define: expected macro name, got %s", nameTok)
+	}
+	m := &macro{name: nameTok.Lit}
+	// A parameter list only counts if the '(' is immediately adjacent
+	// to the name (standard C preprocessor rule).
+	if s.peek() == '(' {
+		s.advance()
+		m.params = []string{}
+		for {
+			s.skipSpace(true)
+			p := s.Next()
+			if p.Kind == token.RPAREN && len(m.params) == 0 {
+				break
+			}
+			if p.Kind != token.IDENT {
+				return token.Errorf(p.Pos, "#define %s: expected parameter name, got %s", m.name, p)
+			}
+			m.params = append(m.params, p.Lit)
+			sep := s.Next()
+			if sep.Kind == token.RPAREN {
+				break
+			}
+			if sep.Kind != token.COMMA {
+				return token.Errorf(sep.Pos, "#define %s: expected , or ) in parameter list", m.name)
+			}
+		}
+	}
+	body := s.restOfLine()
+	bs := NewScanner(body)
+	for {
+		t := bs.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		if t.Kind == token.DEFINE {
+			return token.Errorf(nameTok.Pos, "#define %s: nested #define in body", m.name)
+		}
+		m.body = append(m.body, t)
+	}
+	if errs := bs.Errs(); len(errs) > 0 {
+		return fmt.Errorf("#define %s: %w", m.name, errs[0])
+	}
+	macros[m.name] = m
+	return nil
+}
+
+const maxExpandDepth = 32
+
+// expand rewrites macro invocations in toks. Each invocation splices a
+// fresh copy of the body, so holes and generators in macro bodies are
+// independent at every use site (the Figure 1 Enqueue sketch depends on
+// this: its three aLocation uses are chosen independently).
+//
+// Parameters are substituted both for plain identifier tokens in the
+// body and textually inside {| ... |} generator literals (the paper's
+// anExpr(x,y) mentions x and y inside a generator). Arguments are fully
+// macro-expanded first, so passing the aValue macro as an argument
+// yields a nested {| ... |} group inside the outer generator, which the
+// generator grammar treats like a parenthesized alternation.
+func expand(toks []token.Token, macros map[string]*macro, depth int) ([]token.Token, error) {
+	if depth > maxExpandDepth {
+		return nil, fmt.Errorf("macro expansion too deep (recursive #define?)")
+	}
+	var out []token.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		var m *macro
+		if t.Kind == token.IDENT {
+			m = macros[t.Lit]
+		}
+		if m == nil {
+			out = append(out, t)
+			continue
+		}
+		var body []token.Token
+		if m.params == nil {
+			body = append(body, m.body...)
+		} else {
+			rawArgs, next, err := collectArgs(toks, i+1, m)
+			if err != nil {
+				return nil, err
+			}
+			if len(rawArgs) != len(m.params) {
+				return nil, token.Errorf(t.Pos, "macro %s expects %d argument(s), got %d", m.name, len(m.params), len(rawArgs))
+			}
+			i = next
+			subToks := map[string][]token.Token{}
+			subText := map[string]string{}
+			for k, p := range m.params {
+				arg, err := expand(rawArgs[k], macros, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				subToks[p] = arg
+				subText[p] = Render(arg)
+			}
+			for _, bt := range m.body {
+				switch {
+				case bt.Kind == token.IDENT && subToks[bt.Lit] != nil:
+					body = append(body, subToks[bt.Lit]...)
+				case bt.Kind == token.REGEN:
+					bt.Lit = substIdentsInText(bt.Lit, subText)
+					body = append(body, bt)
+				default:
+					body = append(body, bt)
+				}
+			}
+		}
+		exp, err := expand(retagPos(body, t.Pos), macros, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exp...)
+	}
+	return out, nil
+}
+
+// collectArgs parses a parenthesized, comma-separated argument list
+// starting at toks[start] (which must be LPAREN). It returns the raw
+// argument token slices and the index of the closing RPAREN.
+func collectArgs(toks []token.Token, start int, m *macro) ([][]token.Token, int, error) {
+	if start >= len(toks) || toks[start].Kind != token.LPAREN {
+		pos := token.Pos{}
+		if start < len(toks) {
+			pos = toks[start].Pos
+		}
+		return nil, 0, token.Errorf(pos, "macro %s: expected (", m.name)
+	}
+	var args [][]token.Token
+	cur := []token.Token{}
+	depth := 1
+	for i := start + 1; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case token.LPAREN, token.LBRACK, token.LBRACE:
+			depth++
+		case token.RPAREN, token.RBRACK, token.RBRACE:
+			depth--
+			if depth == 0 {
+				if len(cur) > 0 || len(args) > 0 {
+					args = append(args, cur)
+				}
+				return args, i, nil
+			}
+		case token.COMMA:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = []token.Token{}
+				continue
+			}
+		case token.EOF:
+			return nil, 0, token.Errorf(t.Pos, "macro %s: unterminated argument list", m.name)
+		}
+		cur = append(cur, t)
+	}
+	return nil, 0, token.Errorf(toks[start].Pos, "macro %s: unterminated argument list", m.name)
+}
+
+// Render turns tokens back into compact source text. Used for argument
+// substitution inside generator literals and for diagnostics.
+func Render(toks []token.Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		s := t.String()
+		if t.Kind == token.BITS {
+			s = `"` + t.Lit + `"`
+		}
+		if i > 0 && needsSpace(toks[i-1], t) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// needsSpace reports whether two adjacent tokens would glue into a
+// different token if printed without separation.
+func needsSpace(a, b token.Token) bool {
+	wordy := func(t token.Token) bool {
+		switch t.Kind {
+		case token.IDENT, token.INT, token.KwNull, token.KwTrue, token.KwFalse,
+			token.KwInt, token.KwBool, token.KwBit, token.KwNew:
+			return true
+		}
+		return false
+	}
+	if wordy(a) && wordy(b) {
+		return true
+	}
+	// Keep relational/assign/bang sequences apart: "=" "=" etc.
+	sticky := func(k token.Kind) bool {
+		switch k {
+		case token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LEQ,
+			token.GT, token.GEQ, token.NOT, token.LAND, token.LOR:
+			return true
+		}
+		return false
+	}
+	return sticky(a.Kind) && sticky(b.Kind)
+}
+
+// substIdentsInText replaces whole-word identifier occurrences in a
+// generator literal with their substitution text.
+func substIdentsInText(text string, sub map[string]string) string {
+	var b strings.Builder
+	for i := 0; i < len(text); {
+		c := text[i]
+		if isLetter(c) {
+			j := i + 1
+			for j < len(text) && (isLetter(text[j]) || isDigit(text[j])) {
+				j++
+			}
+			word := text[i:j]
+			if rep, ok := sub[word]; ok {
+				b.WriteString(rep)
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+// retagPos stamps every expanded token with the invocation position so
+// diagnostics point at the use site.
+func retagPos(body []token.Token, pos token.Pos) []token.Token {
+	out := make([]token.Token, len(body))
+	for i, t := range body {
+		t.Pos = pos
+		out[i] = t
+	}
+	return out
+}

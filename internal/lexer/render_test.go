@@ -1,0 +1,56 @@
+package lexer
+
+import (
+	"testing"
+
+	"psketch/internal/token"
+)
+
+// Render keeps adjacent word tokens apart and glues punctuation, so
+// re-lexing a rendering yields the same token kinds.
+func TestRenderRoundTrip(t *testing.T) {
+	srcs := []string{
+		"int x = a + b * 3;",
+		"if (a == b && !c) { x.y[2] = null; }",
+		`bits = "1010";`,
+		"x = AtomicSwap(tail.next, n);",
+	}
+	for _, src := range srcs {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := Render(toks[:len(toks)-1])
+		again, err := Lex(rendered)
+		if err != nil {
+			t.Fatalf("re-lex %q: %v", rendered, err)
+		}
+		if len(again) != len(toks) {
+			t.Fatalf("token count changed: %q -> %q", src, rendered)
+		}
+		for i := range toks {
+			if toks[i].Kind != again[i].Kind || toks[i].Lit != again[i].Lit {
+				t.Fatalf("token %d changed: %v -> %v (%q)", i, toks[i], again[i], rendered)
+			}
+		}
+	}
+}
+
+// Sticky operator sequences must not merge into different tokens.
+func TestRenderStickyOperators(t *testing.T) {
+	toks := []token.Token{
+		{Kind: token.IDENT, Lit: "a"},
+		{Kind: token.ASSIGN},
+		{Kind: token.NOT},
+		{Kind: token.IDENT, Lit: "b"},
+	}
+	out := Render(toks)
+	// "a = ! b" or "a = !b" both fine; "a =! b" must re-lex as = then !.
+	again, err := Lex(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[1].Kind != token.ASSIGN || again[2].Kind != token.NOT {
+		t.Fatalf("sticky merge in %q", out)
+	}
+}

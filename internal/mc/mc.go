@@ -1,0 +1,392 @@
+// Package mc is the explicit-state model checker PSKETCH needs from its
+// verifier (the paper used SPIN): given a concrete candidate, it
+// explores all thread interleavings of the lowered program, checking
+// assertions, memory safety, deadlock freedom, and bounded termination,
+// and produces a counterexample trace on failure (§6).
+//
+// Two sound reductions keep the state space tractable:
+//
+//   - steps whose guards are false are skipped without a scheduling
+//     point (they are not executed at all);
+//   - steps that touch only thread-local state run eagerly after the
+//     scheduled step (they commute with every other thread's steps).
+//
+// Visited states are hashed so each global state is expanded once.
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+	"psketch/internal/interp"
+	"psketch/internal/ir"
+	"psketch/internal/state"
+)
+
+// Event is one executed step of the fork phase.
+type Event struct {
+	Thread int // 0-based forked thread index
+	Step   int // index into the thread's Seq.Steps
+}
+
+// Phase locates a failure.
+type Phase int
+
+// Failure phases.
+const (
+	PhasePrologue Phase = iota
+	PhaseThreads
+	PhaseEpilogue
+)
+
+// Trace is a counterexample: the schedule that led to a violation.
+type Trace struct {
+	Events  []Event
+	Failure *interp.Failure
+	Phase   Phase
+	// FailThread is the forked thread whose step failed (-1 for
+	// prologue/epilogue failures and deadlocks).
+	FailThread int
+	// FailStep is the failing step index within FailThread.
+	FailStep int
+	// Deadlocked lists, per blocked thread, the step it is blocked at.
+	Deadlocked []Event
+}
+
+func (t *Trace) String() string {
+	if t == nil {
+		return "ok"
+	}
+	s := fmt.Sprintf("%s (phase %d", t.Failure, t.Phase)
+	if t.FailThread >= 0 {
+		s += fmt.Sprintf(", thread %d step %d", t.FailThread, t.FailStep)
+	}
+	return s + fmt.Sprintf(") after %d events", len(t.Events))
+}
+
+// Options bound the search.
+type Options struct {
+	MaxStates int // default 4,000,000
+	// Hook, when set, observes every executed step (for debugging and
+	// trace replay); it must not retain st.
+	Hook func(ev Event, st *state.State)
+	// NoLocalFusion disables the eager execution of thread-local steps
+	// (the partial-order reduction), used to cross-check its soundness
+	// in tests.
+	NoLocalFusion bool
+	// MaxTraces asks the search to keep going after the first
+	// counterexample and return up to this many distinct failing
+	// traces (default 1, the paper's behaviour). More traces per
+	// verifier call means more observations per CEGIS iteration.
+	MaxTraces int
+}
+
+// Result is the verifier's verdict.
+type Result struct {
+	OK     bool
+	Trace  *Trace   // nil when OK (the first counterexample)
+	Traces []*Trace // all collected counterexamples (≥1 when !OK)
+	States int      // distinct states expanded
+	Trans  int      // transitions executed
+}
+
+// Check explores all interleavings of the candidate.
+func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, error) {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 4_000_000
+	}
+	if opts.MaxTraces == 0 {
+		opts.MaxTraces = 1
+	}
+	p := l.Prog
+	if !p.Concurrent() {
+		return nil, fmt.Errorf("mc: program has no fork; use the sequential checker")
+	}
+	m := &checker{l: l, p: p, cand: cand, opts: opts, visited: map[[16]byte]bool{}}
+
+	st := l.NewState()
+	// Global initializers and prologue run deterministically.
+	for _, seq := range []*ir.Seq{p.GlobalInit, p.Prologue} {
+		if fail := m.runSequential(st, seq); fail != nil {
+			tr := &Trace{Failure: fail, Phase: PhasePrologue, FailThread: -1}
+			return &Result{OK: false, Trace: tr, Traces: []*Trace{tr}}, nil
+		}
+	}
+
+	var path []Event
+	if err := m.dfs(st, &path); err != nil {
+		return nil, err
+	}
+	res := &Result{OK: len(m.traces) == 0, Traces: m.traces, States: m.states, Trans: m.trans}
+	if !res.OK {
+		res.Trace = m.traces[0]
+	}
+	return res, nil
+}
+
+type checker struct {
+	l       *state.Layout
+	p       *ir.Program
+	cand    desugar.Candidate
+	opts    Options
+	visited map[[16]byte]bool
+	states  int
+	trans   int
+	traces  []*Trace
+}
+
+// record stores a counterexample and reports whether the search should
+// stop (trace budget reached).
+func (m *checker) record(tr *Trace) bool {
+	m.traces = append(m.traces, tr)
+	return len(m.traces) >= m.opts.MaxTraces
+}
+
+// runSequential executes a deterministic sequence (prologue, epilogue,
+// global init) to completion on st.
+func (m *checker) runSequential(st *state.State, seq *ir.Seq) *interp.Failure {
+	ctx := interp.NewCtx(m.l, st, seq, m.cand)
+	for _, step := range seq.Steps {
+		ok, f := ctx.EvalGuards(step)
+		if f != nil {
+			return f
+		}
+		if !ok {
+			continue
+		}
+		enabled, f := ctx.EvalCond(step)
+		if f != nil {
+			return f
+		}
+		if !enabled {
+			return &interp.Failure{Kind: interp.FailDeadlock, Pos: step.Pos, Msg: "blocking condition false in single-threaded phase"}
+		}
+		if f := ctx.ExecBody(step); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// advance normalizes one thread: skips guard-false steps and eagerly
+// runs local steps, recording executed events. It stops at the first
+// shared (scheduling-relevant) step or at the end of the sequence.
+func (m *checker) advance(st *state.State, t int, path *[]Event) *interp.Failure {
+	seq := m.p.Threads[t]
+	ctx := interp.NewCtx(m.l, st, seq, m.cand)
+	for {
+		pc := int(st.PCs[t])
+		if pc >= len(seq.Steps) {
+			return nil
+		}
+		step := seq.Steps[pc]
+		ok, f := ctx.EvalGuards(step)
+		if f != nil {
+			return f
+		}
+		if !ok {
+			st.PCs[t] = int32(pc + 1)
+			continue
+		}
+		if !step.Local || m.opts.NoLocalFusion {
+			return nil
+		}
+		if m.opts.Hook != nil {
+			m.opts.Hook(Event{Thread: t, Step: pc}, st)
+		}
+		if f := ctx.ExecBody(step); f != nil {
+			*path = append(*path, Event{Thread: t, Step: pc})
+			return f
+		}
+		*path = append(*path, Event{Thread: t, Step: pc})
+		st.PCs[t] = int32(pc + 1)
+	}
+}
+
+// normalize advances every thread (guard skips + eager local runs).
+func (m *checker) normalize(st *state.State, path *[]Event) (int, *interp.Failure) {
+	for t := range m.p.Threads {
+		if f := m.advance(st, t, path); f != nil {
+			return t, f
+		}
+	}
+	return -1, nil
+}
+
+// dfs explores the interleavings from st (which must be normalized by
+// the caller for the root; children are normalized here). It returns
+// only on error or when the whole (pruned) space is explored or the
+// trace budget is met; counterexamples accumulate in m.traces.
+func (m *checker) dfs(st *state.State, path *[]Event) error {
+	if t, f := m.normalize(st, path); f != nil {
+		m.record(m.failTrace(*path, f, t))
+		return nil
+	}
+	return m.expand(st, path)
+}
+
+// done reports whether the trace budget is met.
+func (m *checker) done() bool {
+	return len(m.traces) >= m.opts.MaxTraces
+}
+
+func (m *checker) expand(st *state.State, path *[]Event) error {
+	key := st.Key()
+	if m.visited[key] {
+		return nil
+	}
+	m.visited[key] = true
+	m.states++
+	if m.states > m.opts.MaxStates {
+		return fmt.Errorf("mc: state space exceeds %d states", m.opts.MaxStates)
+	}
+
+	unfinished, enabled, blocked, tr := m.status(st)
+	if tr != nil {
+		tr.Events = append(tr.Events, *path...)
+		m.record(tr)
+		return nil
+	}
+	if unfinished == 0 {
+		// All threads done: check the epilogue on a scratch copy (the
+		// search continues from other interleavings).
+		scratch := st.Clone()
+		if f := m.runSequential(scratch, m.p.Epilogue); f != nil {
+			m.record(m.failTraceEpilogue(*path, f))
+		}
+		return nil
+	}
+	if len(enabled) == 0 {
+		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: m.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
+		tr := m.failTrace(*path, f, -1)
+		tr.Deadlocked = blocked
+		m.record(tr)
+		return nil
+	}
+
+	for _, t := range enabled {
+		if m.done() {
+			return nil
+		}
+		child := st.Clone()
+		seq := m.p.Threads[t]
+		pc := int(child.PCs[t])
+		step := seq.Steps[pc]
+		ctx := interp.NewCtx(m.l, child, seq, m.cand)
+		m.trans++
+		*path = append(*path, Event{Thread: t, Step: pc})
+		if m.opts.Hook != nil {
+			m.opts.Hook(Event{Thread: t, Step: pc}, child)
+		}
+		if f := ctx.ExecBody(step); f != nil {
+			m.record(m.failTrace(*path, f, t))
+			*path = (*path)[:len(*path)-1]
+			continue
+		}
+		child.PCs[t] = int32(pc + 1)
+		mark := len(*path)
+		if err := m.dfs(child, path); err != nil {
+			return err
+		}
+		*path = (*path)[:mark-1]
+	}
+	return nil
+}
+
+// status inspects the normalized state: counts unfinished threads,
+// collects enabled ones, and the blocked pending steps. A failure while
+// evaluating a blocking condition is itself a counterexample.
+func (m *checker) status(st *state.State) (unfinished int, enabled []int, blocked []Event, tr *Trace) {
+	for t, seq := range m.p.Threads {
+		pc := int(st.PCs[t])
+		if pc >= len(seq.Steps) {
+			continue
+		}
+		unfinished++
+		step := seq.Steps[pc]
+		// Blocking conditions are side-effect free (enforced at
+		// lowering), so no state copy is needed.
+		ctx := interp.NewCtx(m.l, st, seq, m.cand)
+		ok, f := ctx.EvalCond(step)
+		if f != nil {
+			return 0, nil, nil, m.failTrace(nil, f, t)
+		}
+		if ok {
+			enabled = append(enabled, t)
+		} else {
+			blocked = append(blocked, Event{Thread: t, Step: pc})
+		}
+	}
+	return unfinished, enabled, blocked, nil
+}
+
+func (m *checker) failTrace(path []Event, f *interp.Failure, thread int) *Trace {
+	tr := &Trace{
+		Events:  append([]Event(nil), path...),
+		Failure: f,
+		Phase:   PhaseThreads,
+		FailThread: func() int {
+			if thread < 0 {
+				return -1
+			}
+			return thread
+		}(),
+		FailStep: -1,
+	}
+	if thread >= 0 && len(tr.Events) > 0 {
+		last := tr.Events[len(tr.Events)-1]
+		if last.Thread == thread {
+			tr.FailStep = last.Step
+		}
+	}
+	return tr
+}
+
+func (m *checker) failTraceEpilogue(path []Event, f *interp.Failure) *Trace {
+	return &Trace{
+		Events:     append([]Event(nil), path...),
+		Failure:    f,
+		Phase:      PhaseEpilogue,
+		FailThread: -1,
+		FailStep:   -1,
+	}
+}
+
+// Format renders the counterexample as a readable schedule, one line
+// per executed step, using the lowered program's step labels.
+func (t *Trace) Format(p *ir.Program) string {
+	if t == nil {
+		return "ok"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample: %s\n", t.Failure)
+	switch t.Phase {
+	case PhasePrologue:
+		b.WriteString("  (failed while running the sequential prologue)\n")
+		return b.String()
+	case PhaseEpilogue:
+		b.WriteString("  (the correctness checks after the join failed under this schedule)\n")
+	}
+	for i, ev := range t.Events {
+		label := ""
+		if ev.Thread >= 0 && ev.Thread < len(p.Threads) {
+			seq := p.Threads[ev.Thread]
+			if ev.Step >= 0 && ev.Step < len(seq.Steps) {
+				label = seq.Steps[ev.Step].Label
+			}
+		}
+		fmt.Fprintf(&b, "  %3d. thread %d: %s\n", i+1, ev.Thread, label)
+	}
+	if len(t.Deadlocked) > 0 {
+		b.WriteString("  deadlocked threads:\n")
+		for _, d := range t.Deadlocked {
+			label := ""
+			if d.Thread < len(p.Threads) && d.Step < len(p.Threads[d.Thread].Steps) {
+				label = p.Threads[d.Thread].Steps[d.Step].Label
+			}
+			fmt.Fprintf(&b, "    thread %d blocked at: %s\n", d.Thread, label)
+		}
+	}
+	return b.String()
+}

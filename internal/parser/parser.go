@@ -1,0 +1,557 @@
+// Package parser implements a recursive-descent parser for the PSketch
+// language.
+package parser
+
+import (
+	"strconv"
+
+	"psketch/internal/ast"
+	"psketch/internal/lexer"
+	"psketch/internal/token"
+)
+
+// Parse lexes and parses a PSketch source file.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+type parseError struct{ err error }
+
+func (p *parser) fail(at token.Pos, format string, args ...any) {
+	panic(parseError{token.Errorf(at, format, args...)})
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) peek() token.Token { return p.at(1) }
+
+func (p *parser) at(n int) token.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.fail(t.Pos, "expected %s, got %s", k, t)
+	}
+	return p.next()
+}
+
+func (p *parser) parseProgram() (prog *ast.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseError); ok {
+				prog, err = nil, pe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	prog = &ast.Program{}
+	for p.cur().Kind != token.EOF {
+		switch {
+		case p.cur().Kind == token.KwStruct:
+			prog.Structs = append(prog.Structs, p.parseStruct())
+		default:
+			p.parseTopLevel(prog)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseStruct() *ast.StructDecl {
+	start := p.expect(token.KwStruct)
+	name := p.expect(token.IDENT)
+	p.expect(token.LBRACE)
+	d := &ast.StructDecl{P: start.Pos, Name: name.Lit}
+	for !p.accept(token.RBRACE) {
+		ft := p.parseType()
+		fn := p.expect(token.IDENT)
+		f := &ast.Field{P: ft.P, Type: ft, Name: fn.Lit}
+		if p.accept(token.ASSIGN) {
+			f.Default = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		d.Fields = append(d.Fields, f)
+	}
+	return d
+}
+
+// parseTopLevel parses either a function or a global variable.
+func (p *parser) parseTopLevel(prog *ast.Program) {
+	start := p.cur().Pos
+	generator, harness := false, false
+	for {
+		if p.accept(token.KwGenerator) {
+			generator = true
+			continue
+		}
+		if p.accept(token.KwHarness) {
+			harness = true
+			continue
+		}
+		break
+	}
+	typ := p.parseType()
+	name := p.expect(token.IDENT)
+	if p.cur().Kind == token.LPAREN {
+		fn := &ast.FuncDecl{P: start, Generator: generator, Harness: harness, Name: name.Lit}
+		if typ.Name != "void" || typ.ArrayLen > 0 {
+			fn.Ret = typ
+		}
+		p.expect(token.LPAREN)
+		for p.cur().Kind != token.RPAREN {
+			pt := p.parseType()
+			pn := p.expect(token.IDENT)
+			fn.Params = append(fn.Params, &ast.Param{P: pt.P, Type: pt, Name: pn.Lit})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		if p.accept(token.KwImplements) {
+			fn.Implements = p.expect(token.IDENT).Lit
+		}
+		fn.Body = p.parseBlock()
+		prog.Funcs = append(prog.Funcs, fn)
+		return
+	}
+	if generator || harness {
+		p.fail(start, "generator/harness only apply to functions")
+	}
+	g := &ast.GlobalDecl{P: start, Type: typ, Name: name.Lit}
+	if p.accept(token.ASSIGN) {
+		g.Init = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	prog.Globals = append(prog.Globals, g)
+}
+
+func (p *parser) parseType() *ast.TypeExpr {
+	t := p.cur()
+	var name string
+	switch t.Kind {
+	case token.KwInt:
+		name = "int"
+	case token.KwBool:
+		name = "bool"
+	case token.KwBit:
+		name = "bit"
+	case token.KwVoid:
+		name = "void"
+	case token.IDENT:
+		name = t.Lit
+	default:
+		p.fail(t.Pos, "expected type, got %s", t)
+	}
+	p.next()
+	te := &ast.TypeExpr{P: t.Pos, Name: name}
+	if p.cur().Kind == token.LBRACK {
+		p.next()
+		n := p.expect(token.INT)
+		v, err := strconv.Atoi(n.Lit)
+		if err != nil || v <= 0 {
+			p.fail(n.Pos, "bad array length %q", n.Lit)
+		}
+		te.ArrayLen = v
+		p.expect(token.RBRACK)
+	}
+	return te
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	start := p.expect(token.LBRACE)
+	b := &ast.Block{P: start.Pos}
+	for !p.accept(token.RBRACE) {
+		if p.cur().Kind == token.EOF {
+			p.fail(start.Pos, "unterminated block")
+		}
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	return b
+}
+
+// startsType reports whether the tokens at the cursor begin a local
+// variable declaration.
+func (p *parser) startsType() bool {
+	switch p.cur().Kind {
+	case token.KwInt, token.KwBool, token.KwBit:
+		return true
+	case token.IDENT:
+		// "QueueEntry nextEntry" — two adjacent identifiers.
+		return p.peek().Kind == token.IDENT
+	}
+	return false
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.KwIf:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		var thenB *ast.Block
+		if p.cur().Kind == token.LBRACE {
+			thenB = p.parseBlock()
+		} else {
+			thenB = &ast.Block{P: p.cur().Pos, Stmts: []ast.Stmt{p.parseStmt()}}
+		}
+		st := &ast.IfStmt{P: t.Pos, Cond: cond, Then: thenB}
+		if p.accept(token.KwElse) {
+			if p.cur().Kind == token.KwIf {
+				st.Else = p.parseStmt()
+			} else if p.cur().Kind == token.LBRACE {
+				st.Else = p.parseBlock()
+			} else {
+				st.Else = &ast.Block{P: p.cur().Pos, Stmts: []ast.Stmt{p.parseStmt()}}
+			}
+		}
+		return st
+	case token.KwWhile:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		var body *ast.Block
+		if p.cur().Kind == token.LBRACE {
+			body = p.parseBlock()
+		} else {
+			body = &ast.Block{P: p.cur().Pos, Stmts: []ast.Stmt{p.parseStmt()}}
+		}
+		return &ast.WhileStmt{P: t.Pos, Cond: cond, Body: body}
+	case token.KwReturn:
+		p.next()
+		st := &ast.ReturnStmt{P: t.Pos}
+		if p.cur().Kind != token.SEMI {
+			st.Val = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return st
+	case token.KwAssert:
+		p.next()
+		cond := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.AssertStmt{P: t.Pos, Cond: cond}
+	case token.KwAtomic:
+		p.next()
+		st := &ast.AtomicStmt{P: t.Pos}
+		if p.accept(token.LPAREN) {
+			st.Cond = p.parseExpr()
+			p.expect(token.RPAREN)
+		}
+		if p.cur().Kind == token.LBRACE {
+			st.Body = p.parseBlock()
+		} else {
+			p.expect(token.SEMI)
+			st.Body = &ast.Block{P: t.Pos}
+		}
+		return st
+	case token.KwFork:
+		p.next()
+		p.expect(token.LPAREN)
+		p.accept(token.KwInt) // "fork (int i, N)" and "fork (i; N)" both accepted
+		v := p.expect(token.IDENT)
+		if !p.accept(token.SEMI) {
+			p.expect(token.COMMA)
+		}
+		n := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseBlock()
+		return &ast.ForkStmt{P: t.Pos, Var: v.Lit, N: n, Body: body}
+	case token.KwReorder:
+		p.next()
+		return &ast.ReorderStmt{P: t.Pos, Body: p.parseBlock()}
+	case token.KwRepeat:
+		p.next()
+		p.expect(token.LPAREN)
+		n := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.RepeatStmt{P: t.Pos, Count: n, Body: p.parseStmt()}
+	case token.KwLock, token.KwUnlock:
+		p.next()
+		p.expect(token.LPAREN)
+		target := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.LockStmt{P: t.Pos, Target: target, Unlock: t.Kind == token.KwUnlock}
+	case token.SEMI:
+		p.next()
+		return &ast.Block{P: t.Pos} // empty statement
+	}
+	if p.startsType() {
+		typ := p.parseType()
+		name := p.expect(token.IDENT)
+		st := &ast.DeclStmt{P: t.Pos, Type: typ, Name: name.Lit}
+		if p.accept(token.ASSIGN) {
+			st.Init = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return st
+	}
+	// Expression statement or assignment.
+	e := p.parseExpr()
+	if p.accept(token.ASSIGN) {
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		return &ast.AssignStmt{P: t.Pos, LHS: e, RHS: rhs}
+	}
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{P: t.Pos, X: e}
+}
+
+// ------------------------------------------------------------ expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.cur().Kind == token.LOR {
+		op := p.next()
+		y := p.parseAnd()
+		x = &ast.Binary{P: op.Pos, Op: token.LOR, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	x := p.parseEquality()
+	for p.cur().Kind == token.LAND {
+		op := p.next()
+		y := p.parseEquality()
+		x = &ast.Binary{P: op.Pos, Op: token.LAND, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseEquality() ast.Expr {
+	x := p.parseRelational()
+	for p.cur().Kind == token.EQ || p.cur().Kind == token.NEQ {
+		op := p.next()
+		y := p.parseRelational()
+		x = &ast.Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseRelational() ast.Expr {
+	x := p.parseAdditive()
+	for {
+		k := p.cur().Kind
+		if k != token.LT && k != token.LEQ && k != token.GT && k != token.GEQ {
+			return x
+		}
+		op := p.next()
+		y := p.parseAdditive()
+		x = &ast.Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseAdditive() ast.Expr {
+	x := p.parseMultiplicative()
+	for p.cur().Kind == token.ADD || p.cur().Kind == token.SUB {
+		op := p.next()
+		y := p.parseMultiplicative()
+		x = &ast.Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseMultiplicative() ast.Expr {
+	x := p.parseUnary()
+	for {
+		k := p.cur().Kind
+		if k != token.MUL && k != token.QUO && k != token.REM {
+			return x
+		}
+		op := p.next()
+		y := p.parseUnary()
+		x = &ast.Binary{P: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.NOT:
+		p.next()
+		return &ast.Unary{P: t.Pos, Op: token.NOT, X: p.parseUnary()}
+	case token.SUB:
+		p.next()
+		return &ast.Unary{P: t.Pos, Op: token.SUB, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.DOT:
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.FieldExpr{P: name.Pos, X: x, Name: name.Lit}
+		case token.LBRACK:
+			lb := p.next()
+			idx := p.parseExpr()
+			if p.accept(token.COLON2) {
+				n := p.expect(token.INT)
+				v, err := strconv.Atoi(n.Lit)
+				if err != nil || v <= 0 {
+					p.fail(n.Pos, "bad slice length %q", n.Lit)
+				}
+				p.expect(token.RBRACK)
+				x = &ast.SliceExpr{P: lb.Pos, X: x, Start: idx, Len: v}
+			} else {
+				p.expect(token.RBRACK)
+				x = &ast.IndexExpr{P: lb.Pos, X: x, Index: idx}
+			}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.fail(t.Pos, "bad integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{P: t.Pos, Val: v}
+	case token.BITS:
+		p.next()
+		for _, c := range t.Lit {
+			if c != '0' && c != '1' {
+				p.fail(t.Pos, "bad bit-string literal %q", t.Lit)
+			}
+		}
+		return &ast.BitsLit{P: t.Pos, Text: t.Lit}
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{P: t.Pos, Val: true}
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{P: t.Pos, Val: false}
+	case token.KwNull:
+		p.next()
+		return &ast.NullLit{P: t.Pos}
+	case token.HOLE:
+		p.next()
+		h := &ast.Hole{P: t.Pos, ID: -1}
+		// ??(w) gives the hole an explicit bit width.
+		if p.cur().Kind == token.LPAREN && p.peek().Kind == token.INT && p.at(2).Kind == token.RPAREN {
+			p.next()
+			w, _ := strconv.Atoi(p.next().Lit)
+			p.next()
+			if w <= 0 || w > 30 {
+				p.fail(t.Pos, "hole width %d out of range [1,30]", w)
+			}
+			h.Width = w
+		}
+		return h
+	case token.REGEN:
+		p.next()
+		return &ast.Regen{P: t.Pos, Text: t.Lit, ID: -1}
+	case token.KwNew:
+		p.next()
+		name := p.expect(token.IDENT)
+		e := &ast.NewExpr{P: t.Pos, Type: name.Lit, Site: -1}
+		p.expect(token.LPAREN)
+		for p.cur().Kind != token.RPAREN {
+			e.Args = append(e.Args, p.parseExpr())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		return e
+	case token.LPAREN:
+		// "(int) e" cast or parenthesized expression.
+		if p.peek().Kind == token.KwInt && p.at(2).Kind == token.RPAREN {
+			p.next()
+			ty := p.parseType()
+			p.expect(token.RPAREN)
+			return &ast.CastExpr{P: t.Pos, Type: ty, X: p.parseUnary()}
+		}
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	case token.IDENT:
+		p.next()
+		if p.cur().Kind == token.LPAREN {
+			p.next()
+			c := &ast.CallExpr{P: t.Pos, Fun: t.Lit}
+			for p.cur().Kind != token.RPAREN {
+				c.Args = append(c.Args, p.parseExpr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			return c
+		}
+		return &ast.Ident{P: t.Pos, Name: t.Lit}
+	}
+	p.fail(t.Pos, "expected expression, got %s", t)
+	return nil
+}
+
+// ParseExprString parses a standalone expression (used to parse the
+// enumerated strings of {| ... |} generators).
+func ParseExprString(src string) (e ast.Expr, err error) {
+	toks, lerr := lexer.Lex(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseError); ok {
+				e, err = nil, pe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	e = p.parseExpr()
+	if p.cur().Kind != token.EOF {
+		return nil, token.Errorf(p.cur().Pos, "unexpected trailing tokens in expression %q", src)
+	}
+	return e, nil
+}

@@ -1,0 +1,237 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/ast"
+	"psketch/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, src)
+	}
+	return prog
+}
+
+func TestStructAndGlobals(t *testing.T) {
+	prog := parseOK(t, `
+struct Node {
+	Node next = null;
+	int key;
+}
+Node head;
+int[4] results;
+bool flag = true;
+`)
+	if len(prog.Structs) != 1 || prog.Structs[0].Name != "Node" {
+		t.Fatal("struct missing")
+	}
+	n := prog.Structs[0]
+	if len(n.Fields) != 2 || n.Fields[0].Default == nil || n.Fields[1].Default != nil {
+		t.Fatal("field defaults wrong")
+	}
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals: %d", len(prog.Globals))
+	}
+	if prog.Globals[1].Type.ArrayLen != 4 {
+		t.Fatal("array type wrong")
+	}
+}
+
+func TestFunctionForms(t *testing.T) {
+	prog := parseOK(t, `
+int spec(int x) { return x; }
+int f(int x) implements spec { return x; }
+generator bool g(int a) { return {| a == 0 | true |}; }
+harness void Main() { fork (i; 2) { } }
+`)
+	if prog.Func("f").Implements != "spec" {
+		t.Fatal("implements lost")
+	}
+	if !prog.Func("g").Generator {
+		t.Fatal("generator flag lost")
+	}
+	if !prog.Func("Main").Harness {
+		t.Fatal("harness flag lost")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	prog := parseOK(t, `
+struct T { int v; }
+T obj;
+void f(int n) {
+	int x = 0;
+	x = x + 1;
+	if (x == 1) { x = 2; } else if (x == 2) { x = 3; } else { x = 4; }
+	while (x < n) { x = x + 1; }
+	assert x >= 0;
+	atomic { x = 0; }
+	atomic (x == 0) { x = 1; }
+	atomic (x == 1);
+	lock(obj);
+	unlock(obj);
+	reorder { x = 1; x = 2; }
+	repeat (3) x = x + 1;
+	return;
+}
+`)
+	body := prog.Func("f").Body.Stmts
+	kinds := []string{}
+	for _, s := range body {
+		kinds = append(kinds, strings.TrimPrefix(strings.TrimPrefix(typeName(s), "*ast."), "ast."))
+	}
+	want := []string{"DeclStmt", "AssignStmt", "IfStmt", "WhileStmt", "AssertStmt",
+		"AtomicStmt", "AtomicStmt", "AtomicStmt", "LockStmt", "LockStmt",
+		"ReorderStmt", "RepeatStmt", "ReturnStmt"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v", kinds)
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *ast.DeclStmt:
+		return "DeclStmt"
+	case *ast.AssignStmt:
+		return "AssignStmt"
+	case *ast.IfStmt:
+		return "IfStmt"
+	case *ast.WhileStmt:
+		return "WhileStmt"
+	case *ast.AssertStmt:
+		return "AssertStmt"
+	case *ast.AtomicStmt:
+		return "AtomicStmt"
+	case *ast.LockStmt:
+		return "LockStmt"
+	case *ast.ReorderStmt:
+		return "ReorderStmt"
+	case *ast.RepeatStmt:
+		return "RepeatStmt"
+	case *ast.ReturnStmt:
+		return "ReturnStmt"
+	}
+	return "?"
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	e, err := ParseExprString("a + b * c == d && !e || f < g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((a + (b*c)) == d && !e) || (f < g)
+	or, ok := e.(*ast.Binary)
+	if !ok || or.Op != token.LOR {
+		t.Fatalf("top is %T", e)
+	}
+	and, ok := or.X.(*ast.Binary)
+	if !ok || and.Op != token.LAND {
+		t.Fatal("lhs not &&")
+	}
+	eq, ok := and.X.(*ast.Binary)
+	if !ok || eq.Op != token.EQ {
+		t.Fatal("not ==")
+	}
+	add, ok := eq.X.(*ast.Binary)
+	if !ok || add.Op != token.ADD {
+		t.Fatal("not +")
+	}
+	if mul, ok := add.Y.(*ast.Binary); !ok || mul.Op != token.MUL {
+		t.Fatal("b*c not grouped")
+	}
+}
+
+func TestPostfixChain(t *testing.T) {
+	e, err := ParseExprString("a.b.c[2].d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := e.(*ast.FieldExpr)
+	if !ok || f.Name != "d" {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestHoleForms(t *testing.T) {
+	e, err := ParseExprString("??")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := e.(*ast.Hole); !ok || h.Width != 0 {
+		t.Fatalf("got %#v", e)
+	}
+	e, err = ParseExprString("??(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := e.(*ast.Hole); !ok || h.Width != 4 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestSliceAndCast(t *testing.T) {
+	e, err := ParseExprString("(int) b[2::3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*ast.CastExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	sl, ok := c.X.(*ast.SliceExpr)
+	if !ok || sl.Len != 3 {
+		t.Fatalf("got %T", c.X)
+	}
+}
+
+func TestNewExpr(t *testing.T) {
+	e, err := ParseExprString("new Node(3, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := e.(*ast.NewExpr)
+	if !ok || n.Type != "Node" || len(n.Args) != 2 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestForkForms(t *testing.T) {
+	// Both the paper's "fork (int i, N)" and our "fork (i; N)".
+	for _, src := range []string{
+		"harness void M() { fork (int i, 3) { } }",
+		"harness void M() { fork (i; 3) { } }",
+	} {
+		prog := parseOK(t, src)
+		f := prog.Func("M").Body.Stmts[0].(*ast.ForkStmt)
+		if f.Var != "i" {
+			t.Fatalf("%s: var %q", src, f.Var)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"void f() { int; }",
+		"void f() { x = ; }",
+		"void f() { if x { } }",
+		"void f( { }",
+		"struct S { int }",
+		"void f() { a = b",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("void f() {\n  x = ;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("got %v", err)
+	}
+}

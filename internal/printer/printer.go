@@ -1,0 +1,588 @@
+// Package printer renders resolved sketches back to source: holes are
+// replaced by their synthesized constants, generators by their chosen
+// alternative, and the guarded statement copies produced by the reorder
+// encodings collapse back to the selected order — recovering output in
+// the style of the paper's Figures 2, 4 and 6.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/ast"
+	"psketch/internal/desugar"
+	"psketch/internal/token"
+	"psketch/internal/types"
+)
+
+// Resolve renders the named function of the sketch with the candidate's
+// choices substituted and constant control flow folded away.
+func Resolve(sk *desugar.Sketch, cand desugar.Candidate, fn string) (string, error) {
+	f := sk.WorkProg.Func(fn)
+	if f == nil {
+		return "", fmt.Errorf("printer: no function %s", fn)
+	}
+	r := &resolver{sk: sk, cand: cand}
+	body := r.block(f.Body)
+	taken := map[string]bool{}
+	for _, g := range sk.WorkProg.Globals {
+		taken[g.Name] = true
+	}
+	for _, fn := range sk.WorkProg.Funcs {
+		taken[fn.Name] = true
+	}
+	prettyLocals(f, body, taken)
+	var b strings.Builder
+	writeSignature(&b, f)
+	b.WriteString(" ")
+	writeBlock(&b, body, 0)
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// Program renders every non-generator function of the resolved sketch.
+func Program(sk *desugar.Sketch, cand desugar.Candidate) (string, error) {
+	var b strings.Builder
+	for _, f := range sk.WorkProg.Funcs {
+		if f.Generator {
+			continue
+		}
+		s, err := Resolve(sk, cand, f.Name)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func writeSignature(b *strings.Builder, f *ast.FuncDecl) {
+	if f.Harness {
+		b.WriteString("harness ")
+	}
+	if f.Generator {
+		b.WriteString("generator ")
+	}
+	if f.Ret != nil {
+		b.WriteString(f.Ret.String())
+	} else {
+		b.WriteString("void")
+	}
+	b.WriteString(" " + f.Name + "(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Type.String() + " " + p.Name)
+	}
+	b.WriteString(")")
+	if f.Implements != "" {
+		b.WriteString(" implements " + f.Implements)
+	}
+}
+
+// resolver substitutes candidate choices and folds constants.
+type resolver struct {
+	sk   *desugar.Sketch
+	cand desugar.Candidate
+}
+
+// subst replaces holes and generators in an expression.
+func (r *resolver) subst(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Hole:
+		if x.ID < 0 || x.ID >= len(r.sk.Holes) {
+			return x
+		}
+		m := r.sk.Holes[x.ID]
+		v := r.cand.Value(x.ID)
+		switch m.Kind {
+		case desugar.HoleBool:
+			return &ast.BoolLit{P: x.P, Val: v != 0}
+		case desugar.HoleBits:
+			text := make([]byte, m.Bits)
+			for i := range text {
+				text[i] = '0'
+				if (v>>uint(i))&1 == 1 {
+					text[i] = '1'
+				}
+			}
+			return &ast.BitsLit{P: x.P, Text: string(text)}
+		default:
+			return &ast.IntLit{P: x.P, Val: v}
+		}
+	case *ast.Regen:
+		if x.ID < 0 || x.ID >= len(r.sk.Holes) {
+			return x
+		}
+		m := r.sk.Holes[x.ID]
+		return r.subst(x.Choices[r.cand.Choice(x.ID, m.Choices)])
+	case *ast.Unary:
+		return &ast.Unary{P: x.P, Op: x.Op, X: r.subst(x.X)}
+	case *ast.Binary:
+		return &ast.Binary{P: x.P, Op: x.Op, X: r.subst(x.X), Y: r.subst(x.Y)}
+	case *ast.FieldExpr:
+		return &ast.FieldExpr{P: x.P, X: r.subst(x.X), Name: x.Name}
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{P: x.P, X: r.subst(x.X), Index: r.subst(x.Index)}
+	case *ast.SliceExpr:
+		return &ast.SliceExpr{P: x.P, X: r.subst(x.X), Start: r.subst(x.Start), Len: x.Len}
+	case *ast.CallExpr:
+		c := &ast.CallExpr{P: x.P, Fun: x.Fun}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, r.subst(a))
+		}
+		return c
+	case *ast.CastExpr:
+		return &ast.CastExpr{P: x.P, Type: x.Type, X: r.subst(x.X)}
+	case *ast.NewExpr:
+		c := &ast.NewExpr{P: x.P, Type: x.Type, Site: x.Site}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, r.subst(a))
+		}
+		return c
+	}
+	return e
+}
+
+// constBool folds an expression to a boolean constant if possible.
+func constBool(e ast.Expr) (bool, bool) {
+	v, ok := constInt(e)
+	if !ok {
+		return false, false
+	}
+	return v != 0, true
+}
+
+func constInt(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, true
+	case *ast.BoolLit:
+		if x.Val {
+			return 1, true
+		}
+		return 0, true
+	case *ast.Unary:
+		v, ok := constInt(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case token.SUB:
+			return -v, true
+		}
+	case *ast.Binary:
+		a, ok1 := constInt(x.X)
+		b, ok2 := constInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		toB := func(c bool) (int64, bool) {
+			if c {
+				return 1, true
+			}
+			return 0, true
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.EQ:
+			return toB(a == b)
+		case token.NEQ:
+			return toB(a != b)
+		case token.LT:
+			return toB(a < b)
+		case token.LEQ:
+			return toB(a <= b)
+		case token.GT:
+			return toB(a > b)
+		case token.GEQ:
+			return toB(a >= b)
+		case token.LAND:
+			return toB(a != 0 && b != 0)
+		case token.LOR:
+			return toB(a != 0 || b != 0)
+		}
+	}
+	return 0, false
+}
+
+// block resolves a block, folding constant ifs (which collapses the
+// reorder encodings back to the chosen order).
+func (r *resolver) block(b *ast.Block) *ast.Block {
+	out := &ast.Block{P: b.P}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, r.stmt(s)...)
+	}
+	return out
+}
+
+func (r *resolver) stmt(s ast.Stmt) []ast.Stmt {
+	switch x := s.(type) {
+	case *ast.Block:
+		inner := r.block(x)
+		return inner.Stmts
+	case *ast.DeclStmt:
+		return []ast.Stmt{&ast.DeclStmt{P: x.P, Type: x.Type, Name: x.Name, Init: r.subst(x.Init)}}
+	case *ast.AssignStmt:
+		return []ast.Stmt{&ast.AssignStmt{P: x.P, LHS: r.subst(x.LHS), RHS: r.subst(x.RHS)}}
+	case *ast.IfStmt:
+		cond := r.subst(x.Cond)
+		if v, ok := constBool(cond); ok {
+			if v {
+				return r.block(x.Then).Stmts
+			}
+			if x.Else != nil {
+				return r.stmt(x.Else)
+			}
+			return nil
+		}
+		n := &ast.IfStmt{P: x.P, Cond: cond, Then: r.block(x.Then)}
+		if x.Else != nil {
+			es := r.stmt(x.Else)
+			if len(es) == 1 {
+				n.Else = es[0]
+			} else if len(es) > 1 {
+				n.Else = &ast.Block{P: x.P, Stmts: es}
+			}
+		}
+		return []ast.Stmt{n}
+	case *ast.WhileStmt:
+		return []ast.Stmt{&ast.WhileStmt{P: x.P, Cond: r.subst(x.Cond), Body: r.block(x.Body)}}
+	case *ast.ReturnStmt:
+		return []ast.Stmt{&ast.ReturnStmt{P: x.P, Val: r.subst(x.Val)}}
+	case *ast.AssertStmt:
+		return []ast.Stmt{&ast.AssertStmt{P: x.P, Cond: r.subst(x.Cond)}}
+	case *ast.AtomicStmt:
+		n := &ast.AtomicStmt{P: x.P, Body: r.block(x.Body)}
+		if x.Cond != nil {
+			n.Cond = r.subst(x.Cond)
+		}
+		return []ast.Stmt{n}
+	case *ast.ForkStmt:
+		return []ast.Stmt{&ast.ForkStmt{P: x.P, Var: x.Var, N: r.subst(x.N), Body: r.block(x.Body)}}
+	case *ast.LockStmt:
+		return []ast.Stmt{&ast.LockStmt{P: x.P, Target: r.subst(x.Target), Unlock: x.Unlock}}
+	case *ast.ExprStmt:
+		return []ast.Stmt{&ast.ExprStmt{P: x.P, X: r.subst(x.X)}}
+	case *ast.ReorderStmt:
+		return []ast.Stmt{&ast.ReorderStmt{P: x.P, Body: r.block(x.Body)}}
+	case *ast.RepeatStmt:
+		return []ast.Stmt{&ast.RepeatStmt{P: x.P, Count: r.subst(x.Count), Body: first(r.stmt(x.Body))}}
+	}
+	return []ast.Stmt{s}
+}
+
+func first(ss []ast.Stmt) ast.Stmt {
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	return &ast.Block{Stmts: ss}
+}
+
+// ------------------------------------------------------------ writing
+
+func writeBlock(b *strings.Builder, blk *ast.Block, indent int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		writeStmt(b, s, indent+1)
+	}
+	writeIndent(b, indent)
+	b.WriteString("}")
+}
+
+func writeIndent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func writeStmt(b *strings.Builder, s ast.Stmt, indent int) {
+	writeIndent(b, indent)
+	switch x := s.(type) {
+	case *ast.Block:
+		writeBlock(b, x, indent)
+		b.WriteString("\n")
+	case *ast.DeclStmt:
+		b.WriteString(x.Type.String() + " " + x.Name)
+		if x.Init != nil {
+			b.WriteString(" = " + types.ExprString(x.Init))
+		}
+		b.WriteString(";\n")
+	case *ast.AssignStmt:
+		b.WriteString(types.ExprString(x.LHS) + " = " + types.ExprString(x.RHS) + ";\n")
+	case *ast.IfStmt:
+		b.WriteString("if (" + types.ExprString(x.Cond) + ") ")
+		writeBlock(b, x.Then, indent)
+		if x.Else != nil {
+			b.WriteString(" else ")
+			switch e := x.Else.(type) {
+			case *ast.Block:
+				writeBlock(b, e, indent)
+			default:
+				b.WriteString("{\n")
+				writeStmt(b, e, indent+1)
+				writeIndent(b, indent)
+				b.WriteString("}")
+			}
+		}
+		b.WriteString("\n")
+	case *ast.WhileStmt:
+		b.WriteString("while (" + types.ExprString(x.Cond) + ") ")
+		writeBlock(b, x.Body, indent)
+		b.WriteString("\n")
+	case *ast.ReturnStmt:
+		if x.Val != nil {
+			b.WriteString("return " + types.ExprString(x.Val) + ";\n")
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *ast.AssertStmt:
+		b.WriteString("assert " + types.ExprString(x.Cond) + ";\n")
+	case *ast.AtomicStmt:
+		b.WriteString("atomic")
+		if x.Cond != nil {
+			b.WriteString(" (" + types.ExprString(x.Cond) + ")")
+		}
+		if len(x.Body.Stmts) == 0 {
+			b.WriteString(";\n")
+			return
+		}
+		b.WriteString(" ")
+		writeBlock(b, x.Body, indent)
+		b.WriteString("\n")
+	case *ast.ForkStmt:
+		b.WriteString("fork (" + x.Var + "; " + types.ExprString(x.N) + ") ")
+		writeBlock(b, x.Body, indent)
+		b.WriteString("\n")
+	case *ast.LockStmt:
+		kw := "lock"
+		if x.Unlock {
+			kw = "unlock"
+		}
+		b.WriteString(kw + "(" + types.ExprString(x.Target) + ");\n")
+	case *ast.ExprStmt:
+		b.WriteString(types.ExprString(x.X) + ";\n")
+	case *ast.ReorderStmt:
+		b.WriteString("reorder ")
+		writeBlock(b, x.Body, indent)
+		b.WriteString("\n")
+	case *ast.RepeatStmt:
+		b.WriteString("repeat (" + types.ExprString(x.Count) + ")\n")
+		writeStmt(b, x.Body, indent+1)
+	default:
+		fmt.Fprintf(b, "/* %T */\n", s)
+	}
+}
+
+// prettyLocals undoes the alpha-renaming suffixes ("tmp_1" → "tmp")
+// where unambiguous, so resolved sketches read like the paper's
+// figures. The resolved body is freshly built by the resolver except
+// for leaf identifier nodes, so those are rebuilt before renaming.
+func prettyLocals(f *ast.FuncDecl, body *ast.Block, taken map[string]bool) {
+	for _, p := range f.Params {
+		taken[p.Name] = true
+	}
+	// Collect candidate renames from declarations and fork variables.
+	baseOf := func(name string) string {
+		i := strings.LastIndexByte(name, '_')
+		if i <= 0 {
+			return ""
+		}
+		for _, c := range name[i+1:] {
+			if c < '0' || c > '9' {
+				return ""
+			}
+		}
+		if i == len(name)-1 {
+			return ""
+		}
+		return name[:i]
+	}
+	count := map[string]int{}
+	var scan func(s ast.Stmt)
+	scan = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				scan(st)
+			}
+		case *ast.DeclStmt:
+			if b := baseOf(x.Name); b != "" {
+				count[b]++
+			}
+		case *ast.ForkStmt:
+			if b := baseOf(x.Var); b != "" {
+				count[b]++
+			}
+			scan(x.Body)
+		case *ast.IfStmt:
+			scan(x.Then)
+			scan(x.Else)
+		case *ast.WhileStmt:
+			scan(x.Body)
+		case *ast.AtomicStmt:
+			scan(x.Body)
+		case *ast.ReorderStmt:
+			scan(x.Body)
+		case *ast.RepeatStmt:
+			scan(x.Body)
+		}
+	}
+	scan(body)
+	ren := map[string]string{}
+	var collect func(s ast.Stmt)
+	collect = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				collect(st)
+			}
+		case *ast.DeclStmt:
+			if b := baseOf(x.Name); b != "" && count[b] == 1 && !taken[b] {
+				ren[x.Name] = b
+				taken[b] = true
+			}
+		case *ast.ForkStmt:
+			if b := baseOf(x.Var); b != "" && count[b] == 1 && !taken[b] {
+				ren[x.Var] = b
+				taken[b] = true
+			}
+			collect(x.Body)
+		case *ast.IfStmt:
+			collect(x.Then)
+			collect(x.Else)
+		case *ast.WhileStmt:
+			collect(x.Body)
+		case *ast.AtomicStmt:
+			collect(x.Body)
+		case *ast.ReorderStmt:
+			collect(x.Body)
+		case *ast.RepeatStmt:
+			collect(x.Body)
+		}
+	}
+	collect(body)
+	if len(ren) == 0 {
+		return
+	}
+	applyRename(body, ren)
+}
+
+// applyRename rewrites declarations and identifier uses. Identifier
+// leaves may be shared with the original sketch AST, so they are
+// replaced rather than mutated.
+func applyRename(b *ast.Block, ren map[string]string) {
+	var rewriteE func(e *ast.Expr)
+	rewriteE = func(e *ast.Expr) {
+		if *e == nil {
+			return
+		}
+		switch x := (*e).(type) {
+		case *ast.Ident:
+			if n, ok := ren[x.Name]; ok {
+				*e = &ast.Ident{P: x.P, Name: n}
+			}
+		case *ast.Unary:
+			rewriteE(&x.X)
+		case *ast.Binary:
+			rewriteE(&x.X)
+			rewriteE(&x.Y)
+		case *ast.FieldExpr:
+			rewriteE(&x.X)
+		case *ast.IndexExpr:
+			rewriteE(&x.X)
+			rewriteE(&x.Index)
+		case *ast.SliceExpr:
+			rewriteE(&x.X)
+			rewriteE(&x.Start)
+		case *ast.CallExpr:
+			for i := range x.Args {
+				rewriteE(&x.Args[i])
+			}
+		case *ast.CastExpr:
+			rewriteE(&x.X)
+		case *ast.NewExpr:
+			for i := range x.Args {
+				rewriteE(&x.Args[i])
+			}
+		case *ast.Regen:
+			for i := range x.Choices {
+				rewriteE(&x.Choices[i])
+			}
+		}
+	}
+	var rewriteS func(s ast.Stmt)
+	rewriteS = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				rewriteS(st)
+			}
+		case *ast.DeclStmt:
+			if n, ok := ren[x.Name]; ok {
+				x.Name = n
+			}
+			rewriteE(&x.Init)
+		case *ast.AssignStmt:
+			rewriteE(&x.LHS)
+			rewriteE(&x.RHS)
+		case *ast.IfStmt:
+			rewriteE(&x.Cond)
+			rewriteS(x.Then)
+			rewriteS(x.Else)
+		case *ast.WhileStmt:
+			rewriteE(&x.Cond)
+			rewriteS(x.Body)
+		case *ast.ReturnStmt:
+			rewriteE(&x.Val)
+		case *ast.AssertStmt:
+			rewriteE(&x.Cond)
+		case *ast.AtomicStmt:
+			if x.Cond != nil {
+				rewriteE(&x.Cond)
+			}
+			rewriteS(x.Body)
+		case *ast.ForkStmt:
+			if n, ok := ren[x.Var]; ok {
+				x.Var = n
+			}
+			rewriteE(&x.N)
+			rewriteS(x.Body)
+		case *ast.ReorderStmt:
+			rewriteS(x.Body)
+		case *ast.RepeatStmt:
+			rewriteE(&x.Count)
+			rewriteS(x.Body)
+		case *ast.LockStmt:
+			rewriteE(&x.Target)
+		case *ast.ExprStmt:
+			rewriteE(&x.X)
+		}
+	}
+	rewriteS(b)
+}

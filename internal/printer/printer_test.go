@@ -1,0 +1,265 @@
+package printer
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/desugar"
+	"psketch/internal/parser"
+)
+
+func sketch(t *testing.T, src, target string, opts desugar.Options) *desugar.Sketch {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// Holes and generators substitute to their chosen constants/choices.
+func TestSubstitution(t *testing.T) {
+	sk := sketch(t, `
+int g;
+void f() {
+	g = ??(3);
+	g = {| g + 1 | g - 1 |};
+	bool b = ??;
+	if (b) { g = 0; }
+}
+harness void Main() { f(); fork (i; 1) { } }
+`, "Main", desugar.Options{})
+	cand := make(desugar.Candidate, len(sk.Holes))
+	for i, m := range sk.Holes {
+		switch m.Kind {
+		case desugar.HoleInt:
+			cand[i] = 5
+		case desugar.HoleChoice:
+			cand[i] = 1
+		case desugar.HoleBool:
+			cand[i] = 1
+		}
+	}
+	out, err := Resolve(sk, cand, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "g = 5;") {
+		t.Fatalf("hole not substituted:\n%s", out)
+	}
+	if !strings.Contains(out, "g - 1") || strings.Contains(out, "{|") {
+		t.Fatalf("generator not substituted:\n%s", out)
+	}
+	if !strings.Contains(out, "= true;") {
+		t.Fatalf("bool hole not substituted:\n%s", out)
+	}
+}
+
+// Reorder encodings fold back to the chosen order: constant guards
+// collapse, so exactly one copy of each statement remains.
+func TestReorderFoldsBack(t *testing.T) {
+	for _, enc := range []desugar.Encoding{desugar.EncodeInsertion, desugar.EncodeQuadratic} {
+		sk := sketch(t, `
+int g;
+void f() {
+	reorder { g = 1; g = 2; }
+}
+harness void Main() { f(); fork (i; 1) { } }
+`, "Main", desugar.Options{Encoding: enc})
+		// Try every raw assignment; the valid ones must print exactly
+		// one copy of each statement.
+		validSeen := 0
+		max := int64(1)
+		for _, m := range sk.Holes {
+			max *= 1 << uint(m.Bits)
+		}
+		for v := int64(0); v < max; v++ {
+			cand := make(desugar.Candidate, len(sk.Holes))
+			rest := v
+			for i, m := range sk.Holes {
+				cand[i] = rest & ((1 << uint(m.Bits)) - 1)
+				rest >>= uint(m.Bits)
+			}
+			out, err := Resolve(sk, cand, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1 := strings.Count(out, "g = 1;")
+			c2 := strings.Count(out, "g = 2;")
+			if c1 == 1 && c2 == 1 && !strings.Contains(out, "if (") {
+				validSeen++
+			}
+		}
+		if validSeen == 0 {
+			t.Fatalf("encoding %v: no candidate folded to a clean order", enc)
+		}
+	}
+}
+
+// Figure 2 regression: the known queueE1 solution prints as the paper's
+// resolved Enqueue.
+func TestFigure2Golden(t *testing.T) {
+	sk := sketch(t, `
+struct QueueEntry { QueueEntry next = null; int stored; int taken = 0; }
+QueueEntry tail;
+
+void Enqueue(int v) {
+	QueueEntry tmp = null;
+	QueueEntry newEntry = new QueueEntry(v);
+	tmp = AtomicSwap({| tail | tail.next |}, newEntry);
+	{| tmp | newEntry |}.next = newEntry;
+}
+harness void Main() {
+	tail = new QueueEntry(0);
+	fork (i; 1) { Enqueue(1); }
+}
+`, "Main", desugar.Options{})
+	out, err := Resolve(sk, desugar.Candidate{0, 0}, "Enqueue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"AtomicSwap(tail, newEntry",
+		".next = newEntry",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramPrintsAllFunctions(t *testing.T) {
+	sk := sketch(t, `
+int g;
+void f() { g = ??(1); }
+generator int p() { return {| 1 | 2 |}; }
+harness void Main() { f(); fork (i; 1) { } }
+`, "Main", desugar.Options{})
+	out, err := Program(sk, make(desugar.Candidate, len(sk.Holes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "void f()") || !strings.Contains(out, "harness void Main()") {
+		t.Fatalf("functions missing:\n%s", out)
+	}
+	if strings.Contains(out, "generator") {
+		t.Fatalf("generator functions should be omitted:\n%s", out)
+	}
+}
+
+// Every statement form prints; the output is stable and re-parseable
+// in spirit (checked by substring).
+func TestPrintAllForms(t *testing.T) {
+	sk := sketch(t, `
+struct N { N next = null; int v; }
+N head;
+int g;
+
+int helper(int x) {
+	while (x > 0) { x = x - 1; }
+	assert x == 0;
+	return x;
+}
+
+harness void Main() {
+	head = new N(1);
+	lock(head);
+	unlock(head);
+	atomic { g = 1; }
+	atomic (g == 1) { g = 2; }
+	atomic (g == 2);
+	int r = helper(3);
+	r = r;
+	fork (i; 2) {
+		int t = i;
+		if (t == 0) { g = g + 1; } else { g = g - 1; }
+	}
+}
+`, "Main", desugar.Options{})
+	out, err := Program(sk, make(desugar.Candidate, len(sk.Holes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"harness void Main()",
+		"int helper(int x)",
+		"while (x > 0)",
+		"assert x == 0;",
+		"return x;",
+		"lock(head);",
+		"unlock(head);",
+		"atomic {",
+		"atomic (g == 1)",
+		"atomic (g == 2);",
+		"fork (i; 2)",
+		"} else {",
+		"new N(1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Pretty renaming restores base names when unambiguous and leaves
+// ambiguous or colliding ones suffixed.
+func TestPrettyLocalNames(t *testing.T) {
+	sk := sketch(t, `
+int tmp;
+void f() {
+	int tmp2 = 0;
+	tmp2 = tmp2 + 1;
+	if (true) { int inner = 1; inner = inner; }
+	if (true) { int inner = 2; inner = inner; }
+}
+harness void Main() { f(); fork (i; 1) { } }
+`, "Main", desugar.Options{})
+	out, err := Resolve(sk, make(desugar.Candidate, len(sk.Holes)), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int tmp2 = 0;") {
+		t.Fatalf("unique local not restored:\n%s", out)
+	}
+	// Two 'inner' locals: must stay distinct.
+	if strings.Count(out, "int inner_") != 2 && strings.Count(out, "int inner ") >= 2 {
+		t.Fatalf("ambiguous locals collided:\n%s", out)
+	}
+}
+
+// Hole kinds print as their literal forms (int, bool, bit-string).
+func TestHoleRendering(t *testing.T) {
+	sk := sketch(t, `
+void f() {
+	int a = ??(4);
+	bool b = ??;
+	bit[3] v = ??;
+	a = a; b = b; v[0] = v[0];
+}
+harness void Main() { f(); fork (i; 1) { } }
+`, "Main", desugar.Options{})
+	cand := make(desugar.Candidate, len(sk.Holes))
+	for i, m := range sk.Holes {
+		switch m.Kind {
+		case desugar.HoleInt:
+			cand[i] = 9
+		case desugar.HoleBool:
+			cand[i] = 1
+		case desugar.HoleBits:
+			cand[i] = 0b101
+		}
+	}
+	out, err := Resolve(sk, cand, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"int a = 9;", "bool b = true;", `bit[3] v = "101";`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package project implements the trace-projection step of the
+// concurrent CEGIS algorithm (§6): a counterexample trace produced on
+// one candidate is turned into an observation valid for the whole
+// candidate space.
+//
+// Because the sketch is in if-converted linear-step form, every
+// candidate executes a subset of the same statement instances. The
+// projection orders all statement instances of all threads so that
+//
+//	(i)   steps common with the trace keep the trace's order,
+//	(ii)  per-thread program order is preserved, and
+//	(iii) deadlock-set steps come after every step outside the set,
+//
+// and rewrites conditional atomics into the paper's
+// "if (cond) body; else if (another thread can progress) OK; else
+// deadlock" form. Mid-trace blocked steps abort the projection (the
+// longest-preserving-prefix semantics); a trace that ended in deadlock
+// contributes the constraint "all deadlocked threads are simultaneously
+// stuck", with each stuck thread's remaining steps suppressed.
+package project
+
+import (
+	"psketch/internal/circuit"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/state"
+	"psketch/internal/sym"
+)
+
+// Entry is one statement instance of the projected trace program.
+type Entry struct {
+	Thread int // forked thread index
+	Step   int // step index within that thread
+	// Deadlock marks a step at which a thread was blocked when the
+	// model checker declared deadlock.
+	Deadlock bool
+}
+
+// Build computes the projected order of all thread-step instances for a
+// counterexample trace.
+func Build(p *ir.Program, tr *mc.Trace) []Entry {
+	n := p.NumThreads()
+	pos := make([]int, n)
+	var out []Entry
+	emitUpTo := func(t, step int) {
+		for pos[t] <= step && pos[t] < len(p.Threads[t].Steps) {
+			out = append(out, Entry{Thread: t, Step: pos[t]})
+			pos[t]++
+		}
+	}
+	// (i)+(ii): traced steps in trace order; untraced earlier steps of
+	// the same thread (guard-skipped on the failing candidate) are
+	// emitted just before, in program order.
+	for _, ev := range tr.Events {
+		emitUpTo(ev.Thread, ev.Step)
+	}
+	// (iii): steps outside the deadlock set first...
+	inDeadlock := map[int]int{}
+	for _, d := range tr.Deadlocked {
+		inDeadlock[d.Thread] = d.Step
+	}
+	for t := 0; t < n; t++ {
+		if b, ok := inDeadlock[t]; ok {
+			emitUpTo(t, b-1)
+		} else {
+			emitUpTo(t, len(p.Threads[t].Steps)-1)
+		}
+	}
+	// ...then each blocked step (marked) and its thread's suffix.
+	for t := 0; t < n; t++ {
+		if b, ok := inDeadlock[t]; ok {
+			if pos[t] == b && b < len(p.Threads[t].Steps) {
+				out = append(out, Entry{Thread: t, Step: b, Deadlock: true})
+				pos[t]++
+			}
+			emitUpTo(t, len(p.Threads[t].Steps)-1)
+		}
+	}
+	return out
+}
+
+// Encode symbolically evaluates the projected trace program over the
+// hole inputs and returns fail(Skt[c]) as a single literal.
+func Encode(b *circuit.Builder, l *state.Layout, holes []circuit.Word, entries []Entry) (circuit.Lit, error) {
+	p := l.Prog
+	e := sym.New(b, l, holes)
+	e.RunSeq(p.GlobalInit, circuit.True)
+	e.RunSeq(p.Prologue, circuit.True)
+
+	active := circuit.True
+	threadActive := make(map[int]circuit.Lit)
+	tact := func(t int) circuit.Lit {
+		if l, ok := threadActive[t]; ok {
+			return l
+		}
+		return circuit.True
+	}
+	blockedAll := circuit.True
+	anyDeadlock := false
+
+	for i, en := range entries {
+		seq := p.Threads[en.Thread]
+		step := seq.Steps[en.Step]
+		base := b.And(active, tact(en.Thread))
+		g, c := e.StepParts(seq, step, base)
+		switch {
+		case en.Deadlock:
+			// The thread is stuck here iff it reaches this step (guards
+			// hold) and the condition is false; its remaining steps run
+			// only if it was not stuck.
+			blocked := b.And(g, c.Not())
+			blockedAll = b.And(blockedAll, blocked)
+			anyDeadlock = true
+			threadActive[en.Thread] = b.And(tact(en.Thread), blocked.Not())
+			g = b.And(g, c)
+		case step.Cond != nil:
+			blocked := b.And(g, c.Not())
+			if othersFollow(entries, i) {
+				// "Some other thread can make progress": the projected
+				// trace diverges here; stop following it (OK).
+				active = b.And(active, blocked.Not())
+			} else {
+				// Every other thread has terminated in this order; a
+				// blocked step is a genuine deadlock.
+				e.FailIf(blocked)
+			}
+			g = b.And(g, c)
+		}
+		e.ExecStepBody(seq, step, g)
+	}
+	if anyDeadlock {
+		e.FailIf(blockedAll)
+	}
+
+	// The epilogue's correctness checks apply when the trace ran to
+	// completion and no thread is stuck.
+	epiActive := active
+	for t := range p.Threads {
+		epiActive = b.And(epiActive, tact(t))
+	}
+	e.RunSeq(p.Epilogue, epiActive)
+	if err := e.Err(); err != nil {
+		return circuit.False, err
+	}
+	return e.Fail, nil
+}
+
+// othersFollow reports whether any entry after position i belongs to a
+// different thread ("some other thread can make progress").
+func othersFollow(entries []Entry, i int) bool {
+	t := entries[i].Thread
+	for j := i + 1; j < len(entries); j++ {
+		if entries[j].Thread != t {
+			return true
+		}
+	}
+	return false
+}

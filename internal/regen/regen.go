@@ -1,0 +1,280 @@
+// Package regen implements the regular-expression expression generators
+// of §4.1/§7.1: {| e |} where e is a regular expression over program
+// text with alternation e1|e2, optional e?, and grouping. Kleene
+// closure is deliberately excluded, exactly as in the paper, so every
+// generator denotes a finite language.
+//
+// Within a generator body the characters ( ) | ? are always regex
+// operators, and a nested {| ... |} acts as a grouped alternation
+// (this is what the paper's macro substitution produces when a
+// generator macro is passed as a macro argument).
+package regen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is a parsed regex node.
+type node interface {
+	enumerate(out *[]string, cap int) error
+}
+
+type lit struct{ text string }
+type seq struct{ parts []node }
+type alt struct{ arms []node }
+type opt struct{ inner node }
+
+// group is an explicit ( ... ) or nested {| ... |}. Its expansions are
+// re-parenthesized in the output text (unless they are member-access
+// fragments like ".next"), so that "(!)? (a == b | c)" yields "!(a == b)"
+// — with correct precedence — rather than "! a == b".
+type group struct{ inner node }
+
+// MaxLanguage bounds the number of strings a single generator may
+// denote; beyond this the sketch is considered malformed.
+const MaxLanguage = 65536
+
+// Enumerate parses the generator body and returns its language in
+// deterministic order (alternatives in source order; for e? the empty
+// expansion first).
+func Enumerate(text string) ([]string, error) {
+	p := &rparser{src: text}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("generator {|%s|}: unexpected %q at offset %d", text, p.src[p.pos], p.pos)
+	}
+	var out []string
+	if err := n.enumerate(&out, MaxLanguage); err != nil {
+		return nil, fmt.Errorf("generator {|%s|}: %w", text, err)
+	}
+	// Trim and de-duplicate while preserving order.
+	seen := make(map[string]bool, len(out))
+	res := out[:0]
+	for _, s := range out {
+		s = strings.Join(strings.Fields(s), " ")
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		res = append(res, s)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("generator {|%s|}: empty language", text)
+	}
+	return res, nil
+}
+
+type rparser struct {
+	src string
+	pos int
+}
+
+func (p *rparser) skipWS() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// parseAlt := parseSeq ('|' parseSeq)*
+func (p *rparser) parseAlt() (node, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	arms := []node{first}
+	for {
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == '|' && !p.at("|}") {
+			p.pos++
+			n, err := p.parseSeq()
+			if err != nil {
+				return nil, err
+			}
+			arms = append(arms, n)
+			continue
+		}
+		break
+	}
+	if len(arms) == 1 {
+		return arms[0], nil
+	}
+	return &alt{arms: arms}, nil
+}
+
+func (p *rparser) at(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+// parseSeq := (atom '?'*)* — stops at '|', ')' or '|}'.
+func (p *rparser) parseSeq() (node, error) {
+	var parts []node
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] == ')' || (p.src[p.pos] == '|' && !p.at("|}")) {
+			break
+		}
+		if p.at("|}") {
+			break
+		}
+		var n node
+		var err error
+		switch {
+		case p.src[p.pos] == '(':
+			p.pos++
+			n, err = p.parseAlt()
+			if err != nil {
+				return nil, err
+			}
+			p.skipWS()
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return nil, fmt.Errorf("generator: missing )")
+			}
+			p.pos++
+			n = &group{inner: n}
+		case p.at("{|"):
+			p.pos += 2
+			n, err = p.parseAlt()
+			if err != nil {
+				return nil, err
+			}
+			p.skipWS()
+			if !p.at("|}") {
+				return nil, fmt.Errorf("generator: missing |}")
+			}
+			p.pos += 2
+			n = &group{inner: n}
+		case p.src[p.pos] == '?':
+			return nil, fmt.Errorf("generator: ? with nothing to apply to")
+		default:
+			n = &lit{text: p.scanLiteral()}
+		}
+		for {
+			p.skipWS()
+			if p.pos < len(p.src) && p.src[p.pos] == '?' && !p.at("??") {
+				p.pos++
+				n = &opt{inner: n}
+				continue
+			}
+			break
+		}
+		parts = append(parts, n)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &seq{parts: parts}, nil
+}
+
+// scanLiteral consumes a maximal run of non-operator characters. The
+// hole token ?? passes through as literal text.
+func (p *rparser) scanLiteral() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == '|' {
+			break
+		}
+		if c == '{' && p.at("{|") {
+			break
+		}
+		if c == '?' {
+			if p.at("??") {
+				p.pos += 2
+				// A hole may carry an explicit width: ??(w). The
+				// parenthesis belongs to the hole, not to grouping.
+				if p.pos < len(p.src) && p.src[p.pos] == '(' {
+					j := p.pos + 1
+					for j < len(p.src) && p.src[j] >= '0' && p.src[j] <= '9' {
+						j++
+					}
+					if j > p.pos+1 && j < len(p.src) && p.src[j] == ')' {
+						p.pos = j + 1
+					}
+				}
+				continue
+			}
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (l *lit) enumerate(out *[]string, cap int) error {
+	*out = append(*out, l.text)
+	return nil
+}
+
+func (g *group) enumerate(out *[]string, cap int) error {
+	var inner []string
+	if err := g.inner.enumerate(&inner, cap); err != nil {
+		return err
+	}
+	for _, s := range inner {
+		t := strings.TrimSpace(s)
+		if t == "" || strings.HasPrefix(t, ".") || !containsWord(t) {
+			// Member-access fragments (".next") and operator fragments
+			// ("!") are glue, not sub-expressions.
+			*out = append(*out, s)
+			continue
+		}
+		*out = append(*out, "("+t+")")
+	}
+	return nil
+}
+
+// containsWord reports whether the fragment holds identifier or number
+// characters (i.e., could be a sub-expression rather than an operator).
+func containsWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *opt) enumerate(out *[]string, cap int) error {
+	*out = append(*out, "")
+	return o.inner.enumerate(out, cap)
+}
+
+func (a *alt) enumerate(out *[]string, cap int) error {
+	for _, arm := range a.arms {
+		if err := arm.enumerate(out, cap); err != nil {
+			return err
+		}
+		if len(*out) > cap {
+			return fmt.Errorf("language larger than %d strings", cap)
+		}
+	}
+	return nil
+}
+
+func (s *seq) enumerate(out *[]string, cap int) error {
+	acc := []string{""}
+	for _, part := range s.parts {
+		var opts []string
+		if err := part.enumerate(&opts, cap); err != nil {
+			return err
+		}
+		next := make([]string, 0, len(acc)*len(opts))
+		for _, a := range acc {
+			for _, o := range opts {
+				next = append(next, a+o)
+				if len(next) > cap {
+					return fmt.Errorf("language larger than %d strings", cap)
+				}
+			}
+		}
+		acc = next
+	}
+	*out = append(*out, acc...)
+	return nil
+}

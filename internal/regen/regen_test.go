@@ -1,0 +1,165 @@
+package regen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func enum(t *testing.T, text string) []string {
+	t.Helper()
+	ss, err := Enumerate(text)
+	if err != nil {
+		t.Fatalf("Enumerate(%q): %v", text, err)
+	}
+	return ss
+}
+
+func TestSimpleAlternation(t *testing.T) {
+	got := enum(t, "a | b | c")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOptionalSuffix(t *testing.T) {
+	got := enum(t, "tail(.next)?")
+	want := []string{"tail", "tail.next"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// The paper's aValue generator (§2): 7 strings.
+func TestPaperAValue(t *testing.T) {
+	got := enum(t, "(tail|tmp|newEntry)(.next)? | null")
+	want := []string{
+		"(tail)", "(tail).next", "(tmp)", "(tmp).next",
+		"(newEntry)", "(newEntry).next", "null",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// The paper's aLocation generator (§2): 4 strings.
+func TestPaperALocation(t *testing.T) {
+	got := enum(t, "tail(.next)? | (tmp|newEntry).next")
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Double optional: prevHead(.next)?(.next)? has 3 strings.
+func TestDoubleOptional(t *testing.T) {
+	got := enum(t, "prevHead(.next)?(.next)?")
+	want := []string{"prevHead", "prevHead.next", "prevHead.next.next"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Negation over a multi-arm group must re-parenthesize so precedence
+// survives: "!(a == b)", never "! a == b".
+func TestNegatedGroup(t *testing.T) {
+	got := enum(t, "(!)? (a == b | c)")
+	want := []string{"(a == b)", "(c)", "!(a == b)", "!(c)"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Arithmetic inside a group keeps its own parentheses: (p + t) % 2.
+func TestGroupedArithmetic(t *testing.T) {
+	got := enum(t, "(p + t) % 2 == 0")
+	if len(got) != 1 || strings.Join(strings.Fields(strings.ReplaceAll(got[0], ")%", ") %")), " ") != "(p + t) % 2 == 0" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Holes with explicit widths pass through atomically.
+func TestHoleWidth(t *testing.T) {
+	got := enum(t, "b == ??(1) | c")
+	want := []string{"b == ??(1)", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Nested {| ... |} acts as a grouped alternation (macro splicing).
+func TestNestedGenerator(t *testing.T) {
+	got := enum(t, "x == {| a | b |} | false")
+	want := []string{"x == (a)", "x == (b)", "false"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	got := enum(t, "a | a | a")
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	// Note: empty alternation arms ("a || b") are tolerated and dropped.
+	for _, text := range []string{"", "(a", "? a"} {
+		if _, err := Enumerate(text); err == nil {
+			t.Errorf("Enumerate(%q): expected error", text)
+		}
+	}
+}
+
+// Property: every alternation of identifiers enumerates exactly its
+// arms, in order, deduplicated.
+func TestAlternationProperty(t *testing.T) {
+	names := []string{"aa", "bb", "cc", "dd", "ee", "ff"}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 6 {
+			picks = picks[:6]
+		}
+		var arms []string
+		for _, p := range picks {
+			arms = append(arms, names[int(p)%len(names)])
+		}
+		got, err := Enumerate(strings.Join(arms, " | "))
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		var want []string
+		for _, a := range arms {
+			if !seen[a] {
+				seen[a] = true
+				want = append(want, a)
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the language size of a concatenation of optionals is the
+// product of arm sizes (2^k for k optionals) before deduplication —
+// with distinct fragments, no dedup occurs.
+func TestOptionalCountProperty(t *testing.T) {
+	frags := []string{".a", ".b", ".c", ".d"}
+	for k := 1; k <= 4; k++ {
+		text := "x"
+		for i := 0; i < k; i++ {
+			text += "(" + frags[i] + ")?"
+		}
+		got := enum(t, text)
+		if len(got) != 1<<k {
+			t.Fatalf("k=%d: got %d strings", k, len(got))
+		}
+	}
+}

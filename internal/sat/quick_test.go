@@ -1,0 +1,145 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce decides satisfiability of a small CNF by enumeration.
+func bruteForce(nv int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nv); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				bit := (m>>uint(l.Var()))&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// The solver's verdict must agree with brute force on random small
+// instances, and its models must satisfy every clause.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		nv := 3 + rng.Intn(8)
+		nc := 1 + rng.Intn(30)
+		if !check(t, rng, nv, nc) {
+			t.Fatalf("disagreement at iter %d", iter)
+		}
+	}
+}
+
+func check(t *testing.T, rng *rand.Rand, nv, nc int) bool {
+	t.Helper()
+	s := New()
+	for i := 0; i < nv; i++ {
+		s.NewVar()
+	}
+	var clauses [][]Lit
+	for i := 0; i < nc; i++ {
+		width := 1 + rng.Intn(3)
+		var c []Lit
+		for j := 0; j < width; j++ {
+			c = append(c, MkLit(rng.Intn(nv), rng.Intn(2) == 0))
+		}
+		clauses = append(clauses, c)
+		s.AddClause(c...)
+	}
+	got := s.Solve()
+	want := bruteForce(nv, clauses)
+	if got != want {
+		t.Logf("nv=%d clauses=%v: solver=%v brute=%v", nv, clauses, got, want)
+		return false
+	}
+	if got {
+		for _, c := range clauses {
+			ok := false
+			for _, l := range c {
+				if s.Value(l.Var()) != l.Neg() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Logf("model violates clause %v", c)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Incremental use: adding clauses between solves must preserve
+// correctness (CEGIS's usage pattern).
+func TestIncrementalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 100; iter++ {
+		nv := 4 + rng.Intn(6)
+		s := New()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		for round := 0; round < 6; round++ {
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				width := 1 + rng.Intn(3)
+				var c []Lit
+				for j := 0; j < width; j++ {
+					c = append(c, MkLit(rng.Intn(nv), rng.Intn(2) == 0))
+				}
+				clauses = append(clauses, c)
+				s.AddClause(c...)
+			}
+			if s.Solve() != bruteForce(nv, clauses) {
+				t.Fatalf("incremental disagreement (iter %d round %d)", iter, round)
+			}
+		}
+	}
+}
+
+// Assumptions: UNSAT under assumptions must not poison later solves.
+func TestAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		nv := 4 + rng.Intn(5)
+		s := New()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		for k := 0; k < 3+rng.Intn(10); k++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				c = append(c, MkLit(rng.Intn(nv), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		for round := 0; round < 4; round++ {
+			a := MkLit(rng.Intn(nv), rng.Intn(2) == 0)
+			got := s.Solve(a)
+			want := bruteForce(nv, append(append([][]Lit{}, clauses...), []Lit{a}))
+			if got != want {
+				t.Fatalf("assumption disagreement (iter %d)", iter)
+			}
+		}
+		if s.Solve() != bruteForce(nv, clauses) {
+			t.Fatalf("post-assumption disagreement (iter %d)", iter)
+		}
+	}
+}

@@ -1,0 +1,671 @@
+// Package sat is a from-scratch CDCL SAT solver: two-watched literals,
+// first-UIP clause learning with recursive minimization, VSIDS-style
+// activity with phase saving, and Luby restarts. It replaces the
+// external SAT solver the SKETCH infrastructure delegated to (§5, §9:
+// "delegates the effort of conducting an effective search to an
+// efficient, general purpose SAT-based solver").
+//
+// The interface is incremental: clauses may be added between Solve
+// calls, and Solve accepts assumptions, which is how the CEGIS loop
+// grows the observation set one counterexample at a time.
+package sat
+
+import "sort"
+
+// Lit is a literal: variable v (0-based) encodes as 2v (positive) or
+// 2v+1 (negated).
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	activity []float64
+	polarity []bool // saved phases
+	seen     []byte
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+	model    []lbool
+
+	order   *varHeap
+	varInc  float64
+	claInc  float64
+	ok      bool
+	scratch []Lit
+
+	// Stats counts solver work for the Figure 9 columns.
+	Stats struct {
+		Conflicts    int64
+		Decisions    int64
+		Propagations int64
+		Restarts     int64
+		Learned      int64
+		Reduces      int64
+	}
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = &varHeap{s: s}
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Neg() {
+		return v.neg()
+	}
+	return v
+}
+
+// Value returns the model value of a variable after a SAT result.
+func (s *Solver) Value(v int) bool {
+	return v < len(s.model) && s.model[v] == lTrue
+}
+
+// AddClause adds a problem clause. It returns false if the formula is
+// already unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during solving")
+	}
+	// Normalize: drop duplicate/false literals, detect tautologies.
+	out := s.scratch[:0]
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case lTrue:
+			s.scratch = out
+			return true // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				s.scratch = out
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	s.scratch = out
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					continue nextWatch
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.valueLit(first) == lFalse {
+				// Conflict: copy back remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	first := true
+
+	for {
+		s.bumpClause(confl)
+		for j := 0; j < len(confl.lits); j++ {
+			q := confl.lits[j]
+			if !first && j == 0 {
+				continue // skip the asserting literal of the reason
+			}
+			if first || q != p {
+				v := q.Var()
+				if s.seen[v] == 0 && s.level[v] > 0 {
+					s.seen[v] = 1
+					s.bumpVar(v)
+					if int(s.level[v]) >= s.decisionLevel() {
+						counter++
+					} else {
+						learnt = append(learnt, q)
+					}
+				}
+			}
+		}
+		// Select next literal to look at.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		counter--
+		first = false
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: drop literals implied by the rest of the clause. Keep
+	// the pre-minimization list so every seen flag is cleared below.
+	full := append([]Lit(nil), learnt...)
+	out := learnt[:1]
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.reason[v] == nil || !s.redundant(learnt[i], learnt) {
+			out = append(out, learnt[i])
+		}
+	}
+	learnt = out
+
+	// Compute backtrack level = second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	// Clear seen flags (including literals dropped by minimization).
+	for _, l := range full {
+		s.seen[l.Var()] = 0
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether lit is implied by the other literals of the
+// learnt clause (single-step self-subsumption test).
+func (s *Solver) redundant(lit Lit, learnt []Lit) bool {
+	r := s.reason[lit.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q == lit.Not() {
+			continue
+		}
+		v := q.Var()
+		if s.level[v] == 0 {
+			continue
+		}
+		inClause := false
+		for _, o := range learnt {
+			if o.Var() == v {
+				inClause = true
+				break
+			}
+		}
+		if !inClause {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lFalse
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, cl := range s.learnts {
+			cl.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+// pickBranchVar returns the highest-activity unassigned variable.
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence.
+func luby(y float64, x int) float64 {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	r := 1.0
+	for i := 0; i < seq; i++ {
+		r *= y
+	}
+	return r
+}
+
+// Solve searches for a model under the given assumptions. It returns
+// true (model readable via Value) or false (UNSAT under assumptions).
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	defer s.backtrackTo(0)
+
+	restarts := 0
+	for {
+		confl := s.search(int(100*luby(2, restarts)), assumptions)
+		switch confl {
+		case satisfied:
+			s.model = append(s.model[:0], s.assigns...)
+			return true
+		case unsatisfiable:
+			return false
+		}
+		restarts++
+		s.Stats.Restarts++
+		s.backtrackTo(0)
+		// Keep the learned-clause database bounded: CEGIS solves the
+		// same growing instance many times, and stale low-activity
+		// lemmas otherwise dominate propagation cost.
+		if len(s.learnts) > 4000+s.NumClauses()/2 {
+			s.reduceDB()
+		}
+	}
+}
+
+// reduceDB drops the lower-activity half of the learned clauses
+// (keeping binary clauses and clauses currently used as reasons) and
+// rebuilds the watcher lists.
+func (s *Solver) reduceDB() {
+	if s.decisionLevel() != 0 {
+		return
+	}
+	locked := map[*clause]bool{}
+	for v := range s.assigns {
+		if s.reason[v] != nil {
+			locked[s.reason[v]] = true
+		}
+	}
+	sorted := append([]*clause(nil), s.learnts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].activity < sorted[j].activity })
+	drop := map[*clause]bool{}
+	for _, c := range sorted[:len(sorted)/2] {
+		if len(c.lits) > 2 && !locked[c] {
+			drop[c] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !drop[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	// Rebuild watches from scratch.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+	s.Stats.Reduces++
+}
+
+type searchResult int
+
+const (
+	sResTimeout searchResult = iota
+	satisfied
+	unsatisfiable
+)
+
+func (s *Solver) search(maxConflicts int, assumptions []Lit) searchResult {
+	conflicts := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return unsatisfiable
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Backtracking may drop below the assumption levels; the
+			// no-conflict branch re-establishes assumptions and reports
+			// UNSAT if one has become false.
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if s.valueLit(learnt[0]) == lFalse {
+					return unsatisfiable
+				}
+				if s.valueLit(learnt[0]) == lUndef {
+					s.uncheckedEnqueue(learnt[0], nil)
+				}
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learned++
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(c.lits[0], c)
+			}
+			s.decayActivities()
+			if conflicts >= maxConflicts {
+				return sResTimeout
+			}
+			continue
+		}
+		// No conflict: extend assumptions, then decide.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case lTrue:
+				// Already satisfied: open an empty level to keep the
+				// level/assumption correspondence.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				return unsatisfiable
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.uncheckedEnqueue(a, nil)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return satisfied
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+	}
+}
+
+// ------------------------------------------------------------- varHeap
+
+// varHeap is a binary max-heap on variable activity.
+type varHeap struct {
+	s       *Solver
+	heap    []int32
+	indices []int32 // var -> heap position + 1 (0 = absent)
+}
+
+func (h *varHeap) less(a, b int32) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) insert(v int) {
+	for v >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, int32(v))
+	h.indices[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] != 0 {
+		h.up(int(h.indices[v]) - 1)
+	}
+}
+
+func (h *varHeap) pop() int {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = 0
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 1
+		h.down(0)
+	}
+	return int(top)
+}
+
+func (h *varHeap) up(i int) {
+	x := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(x, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = int32(i + 1)
+		i = p
+	}
+	h.heap[i] = x
+	h.indices[x] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	x := h.heap[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], x) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[c]] = int32(i + 1)
+		i = c
+	}
+	h.heap[i] = x
+	h.indices[x] = int32(i + 1)
+}

@@ -1,0 +1,150 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The sense-reversing barrier of §8.2.2: a global sense, per-thread
+// local senses, and a count of threads yet to arrive. The next() method
+// is sketched as a soup of operations in a reorder block; the paper's
+// correctness client has N threads pass B barrier points, setting
+// reached[t][b] before waiting and asserting the left neighbour's flag
+// after (plus the implicit deadlock check).
+//
+// Tests are "N=<threads>,B=<rounds>".
+
+// barrierSource builds the barrier program for n threads and rounds b.
+// full selects the barrier2 sketch; otherwise the reduced barrier1.
+func barrierSource(n, b int, full bool) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "bool sense = false;\n")
+	fmt.Fprintf(&s, "bool[%d] senses;\n", n)
+	fmt.Fprintf(&s, "int count = %d;\n", n)
+	fmt.Fprintf(&s, "bool[%d] reached;\n", n*b)
+
+	if full {
+		// The paper's predicate generator, minus nothing: a boolean
+		// expression of two ints and two bools, optionally negated.
+		s.WriteString(`
+generator bool predicate(int a, int b, bool c, bool d) {
+	return {| (!)? (a == b | (a|b) == ??(1) | c | d) |};
+}
+
+void next(int th) {
+	bool s = senses[th];
+	s = predicate(0, 0, s, s);
+	int cv = 0;
+	bool tmp = false;
+	reorder {
+		senses[th] = s;
+		cv = AtomicReadAndDecr(count);
+		tmp = predicate(count, cv, s, tmp);
+		if (tmp) {
+			reorder {
+				count = NTHREADS;
+				sense = predicate(count, cv, s, s);
+			}
+		}
+		tmp = predicate(count, cv, s, tmp);
+		if (tmp) {
+			bool t = predicate(0, 0, s, s);
+			atomic (sense == t);
+		}
+	}
+}
+`)
+	} else {
+		// barrier1: the sense flip and flag update are fixed; the
+		// wake-up/wait logic is the sketched soup.
+		s.WriteString(`
+generator bool predicate(int a, int b, bool c, bool d) {
+	return {| (!)? (b == ??(1) | c | d) |};
+}
+
+void next(int th) {
+	bool s = senses[th];
+	s = !s;
+	senses[th] = s;
+	int cv = 0;
+	reorder {
+		cv = AtomicReadAndDecr(count);
+		if (predicate(count, cv, s, s)) {
+			count = NTHREADS;
+			sense = s;
+		}
+		if (predicate(count, cv, s, s)) {
+			bool t = predicate(0, 0, s, s);
+			atomic (sense == t);
+		}
+	}
+}
+`)
+	}
+
+	s.WriteString("\nharness void Main() {\n")
+	fmt.Fprintf(&s, "\tfork (t; %d) {\n", n)
+	s.WriteString("\t\tint b = 0;\n")
+	fmt.Fprintf(&s, "\t\twhile (b < %d) {\n", b)
+	fmt.Fprintf(&s, "\t\t\treached[t * %d + b] = true;\n", b)
+	s.WriteString("\t\t\tnext(t);\n")
+	fmt.Fprintf(&s, "\t\t\tassert reached[((t + %d) %% %d) * %d + b] == true;\n", n-1, n, b)
+	s.WriteString("\t\t\tb = b + 1;\n")
+	s.WriteString("\t\t}\n")
+	s.WriteString("\t}\n")
+	fmt.Fprintf(&s, "\tassert count == %d;\n", n)
+	s.WriteString("}\n")
+
+	out := s.String()
+	return strings.ReplaceAll(out, "NTHREADS", fmt.Sprintf("%d", n))
+}
+
+// parseNB parses "N=3,B=2".
+func parseNB(test string) (n, b int, err error) {
+	_, err = fmt.Sscanf(test, "N=%d,B=%d", &n, &b)
+	return n, b, err
+}
+
+func barrierBench(name string, full bool, tests []string) *Benchmark {
+	res := map[string]bool{}
+	for _, t := range tests {
+		res[t] = true
+	}
+	return &Benchmark{
+		Name: name,
+		Source: func(test string) (string, error) {
+			n, b, err := parseNB(test)
+			if err != nil {
+				return "", err
+			}
+			return barrierSource(n, b, full), nil
+		},
+		Opts: func(test string) desugar.Options {
+			_, b, err := parseNB(test)
+			if err != nil {
+				b = 3
+			}
+			return desugar.Options{IntWidth: 5, LoopBound: b + 1}
+		},
+		Tests:      tests,
+		Resolvable: res,
+		PaperC: func() float64 {
+			if full {
+				return 7
+			}
+			return 4
+		}(),
+	}
+}
+
+// Barrier1 is the reduced sense-reversing barrier sketch.
+func Barrier1() *Benchmark {
+	return barrierBench("barrier1", false, []string{"N=3,B=2", "N=3,B=3"})
+}
+
+// Barrier2 is the full §8.2.2 sketch.
+func Barrier2() *Benchmark {
+	return barrierBench("barrier2", true, []string{"N=2,B=3"})
+}

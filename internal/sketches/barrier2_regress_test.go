@@ -1,0 +1,68 @@
+package sketches
+
+import (
+	"testing"
+
+	"psketch/internal/ast"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/state"
+	"psketch/internal/types"
+)
+
+// TestBarrier2HoleStructure dumps the hole structure and generator choices
+// of the full barrier sketch so the intended solution can be encoded by
+// hand.
+func TestBarrier2HoleStructure(t *testing.T) {
+	sk := compile(t, Barrier2(), "N=2,B=2")
+	regens := map[int]*ast.Regen{}
+	ast.WalkExprs(sk.Harness.Body, func(e ast.Expr) {
+		if r, ok := e.(*ast.Regen); ok {
+			if _, dup := regens[r.ID]; !dup {
+				regens[r.ID] = r
+			}
+		}
+	})
+	for _, h := range sk.Holes {
+		t.Logf("hole %d: kind=%d bits=%d choices=%d %s", h.ID, h.Kind, h.Bits, h.Choices, h.Label)
+		if r, ok := regens[h.ID]; ok {
+			for i, c := range r.Choices {
+				t.Logf("   [%d] %s", i, types.ExprString(c))
+			}
+		}
+	}
+	for _, c := range sk.Constraints {
+		t.Logf("constraint: %s", types.ExprString(c))
+	}
+}
+
+// TestBarrier2ManualCandidate model checks a hand-built intended solution.
+func TestBarrier2ManualCandidate(t *testing.T) {
+	sk := compile(t, Barrier2(), "N=2,B=2")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := make(desugar.Candidate, len(sk.Holes))
+	copy(cand, manualBarrier2)
+	res, err := mc.Check(layout, cand, mc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("manual candidate fails: %s", res.Trace)
+	}
+	t.Logf("manual candidate verified, %d states", res.States)
+}
+
+// manualBarrier2 encodes the textbook sense-reversing barrier in the
+// barrier2 sketch's hole space (found by TestBarrier2TextbookSolutionInSpace):
+// s = !s; tmp = (cv == 1); wake: {count = N; sense = s}; tmp = !tmp;
+// wait: atomic(sense == s); with the insertion-encoded order
+// senses-update, decrement, test, wake, retest, wait.
+var manualBarrier2 = desugar.Candidate{0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 2, 0, 1, 0, 0, 3, 0, 0, 0, 0, 9, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 1, 0, 4, 0, 0}

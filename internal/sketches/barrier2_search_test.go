@@ -1,0 +1,84 @@
+package sketches
+
+import (
+	"testing"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/state"
+)
+
+// Fix the generator choices to the textbook barrier and search the
+// reorder positions exhaustively; at least one ordering must verify.
+func TestBarrier2TextbookSolutionInSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search")
+	}
+	sk := compile(t, Barrier2(), "N=2,B=2")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := make(desugar.Candidate, len(sk.Holes))
+	cand[5] = 8  // s = !s
+	cand[10] = 2 // tmp = (cv == ??)
+	cand[12] = 1 //   ... == 1
+	cand[15] = 3 // sense = s
+	cand[20] = 9 // tmp = !tmp
+	cand[25] = 3 // t = s
+	reorderHoles := []int{30, 31, 32, 33, 34, 35}
+	bits := []int{1, 1, 2, 3, 4, 5}
+	found := 0
+	var rec func(i int)
+	total := 0
+	rec = func(i int) {
+		if found > 0 {
+			return
+		}
+		if i == len(reorderHoles) {
+			total++
+			res, err := mc.Check(layout, cand, mc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OK {
+				found++
+				t.Logf("FOUND after %d combos: %v", total, cand)
+			}
+			return
+		}
+		for v := int64(0); v < 1<<uint(bits[i]); v++ {
+			cand[reorderHoles[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if found == 0 {
+		t.Fatalf("no reorder position verified (%d combos)", total)
+	}
+}
+
+// TestBarrier2WatchedCandidateSurvives reruns CEGIS with the known-good candidate
+// watched, to locate the unsound projection.
+func TestBarrier2WatchedCandidateSurvives(t *testing.T) {
+	sk := compile(t, Barrier2(), "N=2,B=2")
+	good := make(desugar.Candidate, len(sk.Holes))
+	for i, v := range []int64{0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 2, 0, 1, 0, 0, 3, 0, 0, 0, 0, 9, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 1, 0, 4, 0, 0} {
+		good[i] = v
+	}
+	syn, err := core.New(sk, core.Options{Verbose: t.Logf, WatchCandidate: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resolved=%v iters=%d", res.Resolved, res.Stats.Iterations)
+}

@@ -1,0 +1,42 @@
+package sketches
+
+import (
+	"math/big"
+	"testing"
+
+	"psketch/internal/desugar"
+	"psketch/internal/parser"
+)
+
+// Compile every benchmark/test pair and report |C| (the Table 1
+// column); sizes must be within two orders of magnitude of the paper.
+func TestAllBenchmarksCompile(t *testing.T) {
+	for _, b := range All() {
+		for _, test := range b.Tests {
+			src, err := b.Source(test)
+			if err != nil {
+				t.Errorf("%s %s: source: %v", b.Name, test, err)
+				continue
+			}
+			prog, err := parser.Parse(src)
+			if err != nil {
+				t.Errorf("%s %s: parse: %v", b.Name, test, err)
+				continue
+			}
+			sk, err := desugar.Desugar(prog, "Main", b.Opts(test))
+			if err != nil {
+				t.Errorf("%s %s: desugar: %v", b.Name, test, err)
+				continue
+			}
+			logC := logBig(sk.Count)
+			t.Logf("%-10s %-14s |C| = %s (log10 ≈ %.1f, paper ≈ 10^%.1f) holes=%d",
+				b.Name, test, sk.Count, logC, b.PaperC, len(sk.Holes))
+		}
+	}
+}
+
+func logBig(x *big.Int) float64 {
+	f := new(big.Float).SetInt(x)
+	exp := f.MantExp(nil)
+	return float64(exp) * 0.30103
+}

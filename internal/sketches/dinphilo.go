@@ -1,0 +1,116 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The dining philosophers protocol of §8.2.5: P philosophers, P
+// chopstick locks on a ring, T meals each. The acquisition policy is
+// sketched as predicates of (p, t, P) guarding the two lock statements
+// inside a reorder block; the release order is also left open. A
+// philosopher must hold both neighbouring chopsticks to eat (checked
+// with in-use counters), deadlock freedom is implicit, and the bounded
+// liveness property — everyone eats T times — is asserted after the
+// join, exactly as the paper approximates property (2).
+//
+// Tests are "N=<philosophers>,T=<meals>".
+
+func dinphiloSource(p, t int) string {
+	var b strings.Builder
+	b.WriteString(`
+struct Chop {
+	int inuse = 0;
+}
+`)
+	fmt.Fprintf(&b, "Chop[%d] sticks;\n", p)
+	fmt.Fprintf(&b, "int[%d] eats;\n", p)
+	b.WriteString(`
+generator bool policy(int p, int t) {
+	return {| (!)? (p == ??(2) | p % 2 == ??(1) | (p + t) % 2 == ??(1) | true) |};
+}
+
+void phil(int p) {
+	int t = 0;
+`)
+	fmt.Fprintf(&b, "\twhile (t < %d) {\n", t)
+	fmt.Fprintf(&b, "\t\tChop left = sticks[p];\n")
+	fmt.Fprintf(&b, "\t\tChop right = sticks[(p + 1) %% %d];\n", p)
+	b.WriteString(`		reorder {
+			if (policy(p, t)) { lock(left); }
+			if (policy(p, t)) { lock(right); }
+			if (policy(p, t)) { lock(left); }
+			if (policy(p, t)) { lock(right); }
+		}
+		atomic {
+			left.inuse = left.inuse + 1;
+			right.inuse = right.inuse + 1;
+		}
+		atomic {
+			assert left.inuse == 1;
+			assert right.inuse == 1;
+			eats[p] = eats[p] + 1;
+		}
+		atomic {
+			left.inuse = left.inuse - 1;
+			right.inuse = right.inuse - 1;
+		}
+		reorder {
+			unlock(left);
+			unlock(right);
+		}
+		t = t + 1;
+	}
+}
+`)
+	b.WriteString("\nharness void Main() {\n")
+	for i := 0; i < p; i++ {
+		fmt.Fprintf(&b, "\tsticks[%d] = new Chop();\n", i)
+	}
+	fmt.Fprintf(&b, "\tfork (i; %d) {\n", p)
+	b.WriteString("\t\tphil(i);\n")
+	b.WriteString("\t}\n")
+	for i := 0; i < p; i++ {
+		fmt.Fprintf(&b, "\tassert eats[%d] == %d;\n", i, t)
+		fmt.Fprintf(&b, "\tassert sticks[%d]._lock == 0;\n", i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// parseNT parses "N=3,T=5".
+func parseNT(test string) (n, t int, err error) {
+	_, err = fmt.Sscanf(test, "N=%d,T=%d", &n, &t)
+	return n, t, err
+}
+
+// DinPhilo is the dining philosophers benchmark.
+func DinPhilo() *Benchmark {
+	tests := []string{"N=3,T=5", "N=4,T=3", "N=5,T=3"}
+	res := map[string]bool{}
+	for _, tst := range tests {
+		res[tst] = true
+	}
+	return &Benchmark{
+		Name: "dinphilo",
+		Source: func(test string) (string, error) {
+			n, t, err := parseNT(test)
+			if err != nil {
+				return "", err
+			}
+			return dinphiloSource(n, t), nil
+		},
+		Opts: func(test string) desugar.Options {
+			_, t, err := parseNT(test)
+			if err != nil {
+				t = 5
+			}
+			return desugar.Options{IntWidth: 5, LoopBound: t + 1}
+		},
+		Tests:      tests,
+		Resolvable: res,
+		PaperC:     6,
+	}
+}

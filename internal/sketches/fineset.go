@@ -1,0 +1,299 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The finely locked list-based set of §8.2.3: a sorted singly linked
+// list with sentinel head and tail, traversed with a sliding window of
+// locks (hand-over-hand, Figure 5/6). The find(key) helper is sketched:
+// the synthesizer must discover which nodes to lock and unlock, under
+// what conditions, and in what order relative to the traversal.
+//
+// Keys are assigned statically so the final set is deterministic: every
+// key is touched by exactly one op sequence. Sentinels use keys 0 and
+// MAXKEY.
+//
+// Tests use the a/r pattern syntax: "ar(ar|ar)" etc.
+
+const maxKey = 15
+
+// finesetOps assigns keys to the a/r ops of a pattern such that each
+// key is owned by one thread: an 'r' removes the key its own thread
+// most recently added (or a reserved initial key), an 'a' adds a fresh
+// key. It returns per-context op lists and the initial/final key sets.
+type setOp struct {
+	add bool
+	key int
+}
+
+type setPlan struct {
+	pro, epi []setOp
+	threads  [][]setOp
+	initial  []int
+	final    map[int]bool
+}
+
+func planSetOps(p pattern) setPlan {
+	plan := setPlan{final: map[int]bool{}}
+	nextFresh := 1
+	fresh := func() int {
+		k := nextFresh
+		nextFresh += 2 // odd keys are added at run time
+		return k
+	}
+	nextInit := 2
+	reserveInit := func() int {
+		k := nextInit
+		nextInit += 2 // even keys form the initial set
+		plan.initial = append(plan.initial, k)
+		plan.final[k] = true
+		return k
+	}
+	compile := func(ops string) []setOp {
+		var out []setOp
+		var owned []int // keys added by this context, not yet removed
+		for _, op := range []byte(ops) {
+			switch op {
+			case 'a':
+				k := fresh()
+				owned = append(owned, k)
+				plan.final[k] = true
+				out = append(out, setOp{add: true, key: k})
+			case 'r':
+				var k int
+				if len(owned) > 0 {
+					k = owned[len(owned)-1]
+					owned = owned[:len(owned)-1]
+				} else {
+					k = reserveInit()
+				}
+				delete(plan.final, k)
+				out = append(out, setOp{add: false, key: k})
+			}
+		}
+		return out
+	}
+	plan.pro = compile(p.pro)
+	for _, t := range p.threads {
+		plan.threads = append(plan.threads, compile(t))
+	}
+	plan.epi = compile(p.epi)
+	return plan
+}
+
+// finesetFind returns the sketched find() (full or restricted).
+func finesetFind(full bool) string {
+	if full {
+		// Figure 5 verbatim, with tprev snapshotting the old prev.
+		return `
+#define NODE {| (tprev|cur|prev)(.next)? |}
+#define COMP {| (!)? ((null|cur|prev)(.next)? == (null|cur|prev)(.next)?) |}
+
+void find(int key, int th) {
+	lock(head);
+	Node prev = head;
+	Node cur = prev.next;
+	lock(cur);
+	while (cur.key < key) {
+		Node tprev = prev;
+		reorder {
+			if (COMP) { lock(NODE); }
+			if (COMP) { unlock(NODE); }
+			prev = cur;
+			cur = cur.next;
+		}
+	}
+	fprev[th] = prev;
+	fcur[th] = cur;
+}
+`
+	}
+	return `
+#define NODE {| (tprev|cur|prev)(.next)? |}
+#define COMP {| (!)? ((cur|prev) == (null|tprev|prev)(.next)?) |}
+
+void find(int key, int th) {
+	lock(head);
+	Node prev = head;
+	Node cur = prev.next;
+	lock(cur);
+	while (cur.key < key) {
+		Node tprev = prev;
+		reorder {
+			lock(NODE);
+			if (COMP) { unlock(NODE); }
+			prev = cur;
+			cur = cur.next;
+		}
+	}
+	fprev[th] = prev;
+	fcur[th] = cur;
+}
+`
+}
+
+// finesetSource builds the whole benchmark program.
+func finesetSource(full bool, test string) (string, error) {
+	p, err := parsePattern(test)
+	if err != nil {
+		return "", err
+	}
+	plan := planSetOps(p)
+	nThreads := len(p.threads)
+	mainTh := nThreads
+
+	var b strings.Builder
+	b.WriteString(`
+struct Node {
+	Node next = null;
+	int key;
+}
+
+Node head;
+`)
+	fmt.Fprintf(&b, "Node[%d] fprev;\n", mainTh+1)
+	fmt.Fprintf(&b, "Node[%d] fcur;\n", mainTh+1)
+	b.WriteString(finesetFind(full))
+	b.WriteString(`
+void add(int key, int th) {
+	find(key, th);
+	Node prev = fprev[th];
+	Node cur = fcur[th];
+	if (cur.key != key) {
+		Node n = new Node(key);
+		n.next = cur;
+		prev.next = n;
+	}
+	unlock(prev);
+	unlock(cur);
+}
+
+void rem(int key, int th) {
+	find(key, th);
+	Node prev = fprev[th];
+	Node cur = fcur[th];
+	if (cur.key == key) {
+		prev.next = cur.next;
+	}
+	unlock(prev);
+	unlock(cur);
+}
+`)
+
+	b.WriteString("\nharness void Main() {\n")
+	fmt.Fprintf(&b, "\thead = new Node(0);\n")
+	fmt.Fprintf(&b, "\tNode tl = new Node(%d);\n", maxKey)
+	b.WriteString("\thead.next = tl;\n")
+	// Build the initial set (sorted insert order is fine: ascending).
+	for _, k := range sortedInts(plan.initial) {
+		fmt.Fprintf(&b, "\tNode n%d = new Node(%d);\n", k, k)
+	}
+	// Link initial nodes in ascending key order between sentinels.
+	prevName := "head"
+	for _, k := range sortedInts(plan.initial) {
+		fmt.Fprintf(&b, "\t%s.next = n%d;\n", prevName, k)
+		prevName = fmt.Sprintf("n%d", k)
+	}
+	fmt.Fprintf(&b, "\t%s.next = tl;\n", prevName)
+
+	emitOps := func(indent string, ops []setOp, th int) {
+		for _, op := range ops {
+			if op.add {
+				fmt.Fprintf(&b, "%sadd(%d, %d);\n", indent, op.key, th)
+			} else {
+				fmt.Fprintf(&b, "%srem(%d, %d);\n", indent, op.key, th)
+			}
+		}
+	}
+	emitOps("\t", plan.pro, mainTh)
+	fmt.Fprintf(&b, "\tfork (t; %d) {\n", nThreads)
+	for ti, ops := range plan.threads {
+		fmt.Fprintf(&b, "\t\tif (t == %d) {\n", ti)
+		emitOps("\t\t\t", ops, ti)
+		b.WriteString("\t\t}\n")
+	}
+	b.WriteString("\t}\n")
+	emitOps("\t", plan.epi, mainTh)
+
+	// Correctness epilogue: strictly sorted walk from head to the tail
+	// sentinel, expected membership, all locks released.
+	b.WriteString("\tNode w = head;\n")
+	b.WriteString("\tassert w._lock == 0;\n")
+	b.WriteString("\tint lastKey = 0;\n")
+	fmt.Fprintf(&b, "\tbool[%d] present;\n", maxKey+1)
+	b.WriteString("\twhile (w.next != null) {\n")
+	b.WriteString("\t\tw = w.next;\n")
+	b.WriteString("\t\tassert w.key > lastKey;\n")
+	b.WriteString("\t\tlastKey = w.key;\n")
+	b.WriteString("\t\tpresent[w.key] = true;\n")
+	b.WriteString("\t\tassert w._lock == 0;\n")
+	b.WriteString("\t}\n")
+	fmt.Fprintf(&b, "\tassert w.key == %d;\n", maxKey)
+	for k := 1; k < maxKey; k++ {
+		if plan.final[k] {
+			fmt.Fprintf(&b, "\tassert present[%d] == true;\n", k)
+		} else {
+			fmt.Fprintf(&b, "\tassert present[%d] == false;\n", k)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func finesetOptsFor(test string) desugar.Options {
+	p, err := parsePattern(test)
+	if err != nil {
+		return desugar.Options{}
+	}
+	// The list never holds more than initial + adds + 2 sentinel nodes;
+	// traversals and the checking walk are bounded by that.
+	n := 2 + p.count('a') + p.count('r') // removes may reserve initial keys
+	return desugar.Options{IntWidth: 5, LoopBound: n + 1}
+}
+
+func finesetBench(name string, full bool, tests []string) *Benchmark {
+	res := map[string]bool{}
+	for _, t := range tests {
+		res[t] = true
+	}
+	c := 4.0
+	if full {
+		c = 7
+	}
+	return &Benchmark{
+		Name: name,
+		Source: func(test string) (string, error) {
+			return finesetSource(full, test)
+		},
+		Opts:       finesetOptsFor,
+		Tests:      tests,
+		Resolvable: res,
+		PaperC:     c,
+	}
+}
+
+// FineSet1 is the restricted hand-over-hand sketch.
+func FineSet1() *Benchmark {
+	return finesetBench("fineset1", false,
+		[]string{"ar(ar|ar)", "ar(ar|ar|ar)", "ar(a|r|a|r)", "ar(arar|arar)", "ar(aaaa|rrrr)"})
+}
+
+// FineSet2 is the full Figure 5 sketch.
+func FineSet2() *Benchmark {
+	return finesetBench("fineset2", true,
+		[]string{"ar(ar|ar)", "ar(ar|ar|ar)", "ar(a|r|a|r)", "ar(arar|arar)", "ar(aaaa|rrrr)"})
+}

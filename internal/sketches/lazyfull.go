@@ -1,0 +1,183 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The "full version of the lazy list-based set" that §8.2 mentions
+// sketching but omits from the tables: both add() and remove() keep
+// their optimistic traversal and bounded retry, but the two lock
+// statements, their order relative to validation and mutation, and the
+// validation conjuncts themselves are all left to the synthesizer.
+//
+// The interesting contrast with the lazyset benchmark: with TWO locks
+// available, remove() is synthesizable even for the ar(ar|ar) workload
+// where the single-lock version is a proven NO.
+
+func lazyFullSource(test string) (string, error) {
+	p, err := parsePattern(test)
+	if err != nil {
+		return "", err
+	}
+	plan := planSetOps(p)
+	nThreads := len(p.threads)
+	mainTh := nThreads
+
+	var b strings.Builder
+	b.WriteString(`
+struct Node {
+	Node next = null;
+	int key;
+	int marked = 0;
+}
+
+Node head;
+`)
+	fmt.Fprintf(&b, "int[%d] opdone;\n", mainTh+1)
+	b.WriteString(`
+#define LNODE {| (pred|cur)(.next)? |}
+#define AVALID {| (pred.next == cur) | (pred.marked == 0) | (cur.marked == 0) | true |}
+
+void addTry(int key, int th) {
+	if (opdone[th] == 0) {
+		Node pred = head;
+		Node cur = pred.next;
+		while (cur.key < key) {
+			pred = cur;
+			cur = cur.next;
+		}
+		reorder {
+			lock(LNODE);
+			lock(LNODE);
+			if (AVALID && AVALID && AVALID) {
+				if (cur.key != key) {
+					Node n = new Node(key);
+					n.next = cur;
+					pred.next = n;
+				}
+				opdone[th] = 1;
+			}
+		}
+		unlock(LNODE);
+		unlock(LNODE);
+	}
+}
+
+void add(int key, int th) {
+	opdone[th] = 0;
+	addTry(key, th);
+	addTry(key, th);
+	addTry(key, th);
+	assert opdone[th] == 1;
+}
+
+void remTry(int key, int th) {
+	if (opdone[th] == 0) {
+		Node pred = head;
+		Node cur = pred.next;
+		while (cur.key < key) {
+			pred = cur;
+			cur = cur.next;
+		}
+		reorder {
+			lock(LNODE);
+			lock(LNODE);
+			if (AVALID && AVALID && AVALID) {
+				if (cur.key == key) {
+					cur.marked = 1;
+					pred.next = cur.next;
+				}
+				opdone[th] = 1;
+			}
+		}
+		unlock(LNODE);
+		unlock(LNODE);
+	}
+}
+
+void rem(int key, int th) {
+	opdone[th] = 0;
+	remTry(key, th);
+	remTry(key, th);
+	remTry(key, th);
+	assert opdone[th] == 1;
+}
+`)
+
+	b.WriteString("\nharness void Main() {\n")
+	b.WriteString("\thead = new Node(0);\n")
+	fmt.Fprintf(&b, "\tNode tl = new Node(%d);\n", maxKey)
+	b.WriteString("\thead.next = tl;\n")
+	prevName := "head"
+	for _, k := range sortedInts(plan.initial) {
+		fmt.Fprintf(&b, "\tNode n%d = new Node(%d);\n", k, k)
+		fmt.Fprintf(&b, "\t%s.next = n%d;\n", prevName, k)
+		prevName = fmt.Sprintf("n%d", k)
+	}
+	fmt.Fprintf(&b, "\t%s.next = tl;\n", prevName)
+
+	emitOps := func(indent string, ops []setOp, th int) {
+		for _, op := range ops {
+			if op.add {
+				fmt.Fprintf(&b, "%sadd(%d, %d);\n", indent, op.key, th)
+			} else {
+				fmt.Fprintf(&b, "%srem(%d, %d);\n", indent, op.key, th)
+			}
+		}
+	}
+	emitOps("\t", plan.pro, mainTh)
+	fmt.Fprintf(&b, "\tfork (t; %d) {\n", nThreads)
+	for ti, ops := range plan.threads {
+		fmt.Fprintf(&b, "\t\tif (t == %d) {\n", ti)
+		emitOps("\t\t\t", ops, ti)
+		b.WriteString("\t\t}\n")
+	}
+	b.WriteString("\t}\n")
+	emitOps("\t", plan.epi, mainTh)
+
+	b.WriteString("\tNode w = head;\n")
+	b.WriteString("\tassert w._lock == 0;\n")
+	b.WriteString("\tint lastKey = 0;\n")
+	fmt.Fprintf(&b, "\tbool[%d] present;\n", maxKey+1)
+	b.WriteString("\twhile (w.next != null) {\n")
+	b.WriteString("\t\tw = w.next;\n")
+	b.WriteString("\t\tassert w.key > lastKey;\n")
+	b.WriteString("\t\tlastKey = w.key;\n")
+	b.WriteString("\t\tassert w.marked == 0;\n")
+	b.WriteString("\t\tpresent[w.key] = true;\n")
+	b.WriteString("\t\tassert w._lock == 0;\n")
+	b.WriteString("\t}\n")
+	fmt.Fprintf(&b, "\tassert w.key == %d;\n", maxKey)
+	for k := 1; k < maxKey; k++ {
+		if plan.final[k] {
+			fmt.Fprintf(&b, "\tassert present[%d] == true;\n", k)
+		} else {
+			fmt.Fprintf(&b, "\tassert present[%d] == false;\n", k)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// LazyFull is the fully sketched lazy list (extension benchmark).
+func LazyFull() *Benchmark {
+	tests := []string{"(ar|ar)"}
+	return &Benchmark{
+		Name:   "lazyfull",
+		Source: lazyFullSource,
+		Opts: func(test string) desugar.Options {
+			p, err := parsePattern(test)
+			if err != nil {
+				return desugar.Options{}
+			}
+			n := 2 + p.count('a') + p.count('r')
+			return desugar.Options{IntWidth: 5, LoopBound: n + 1}
+		},
+		Tests:      tests,
+		Resolvable: map[string]bool{"(ar|ar)": true},
+		PaperC:     -1,
+	}
+}

@@ -1,0 +1,87 @@
+package sketches
+
+import (
+	"testing"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/state"
+)
+
+// Lowering the same sketch twice must produce equivalent programs —
+// allocation sites live on shared AST nodes and once corrupted the
+// second program silently mis-verified (regression: the POR cross-check
+// "failure" that was really a double-lower artifact).
+func TestLowerIdempotent(t *testing.T) {
+	sk := compile(t, QueueE1(), "ed(ed|ed)")
+	p1, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Sites) != len(p2.Sites) || len(p1.Sites) == 0 {
+		t.Fatalf("site counts differ: %d vs %d", len(p1.Sites), len(p2.Sites))
+	}
+	for i := range p1.Sites {
+		if p1.Sites[i] != p2.Sites[i] {
+			t.Fatalf("site %d differs: %v vs %v", i, p1.Sites[i], p2.Sites[i])
+		}
+	}
+	for name, n := range p1.Arenas {
+		if p2.Arenas[name] != n {
+			t.Fatalf("arena %s differs: %d vs %d", name, n, p2.Arenas[name])
+		}
+	}
+	// Both lowerings must verify the same candidate identically.
+	cand := desugar.Candidate{0, 0}
+	for _, p := range []*ir.Program{p1, p2} {
+		l, err := state.NewLayout(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Check(l, cand, mc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatalf("verdict changed across lowerings: %s", res.Trace)
+		}
+	}
+}
+
+// Synthesize-then-ModelCheck on one compiled sketch (the API pattern
+// that exercises double lowering end to end).
+func TestLowerTwiceViaCEGISAndMC(t *testing.T) {
+	sk := compile(t, QueueE1(), "ed(ed|ed)")
+	syn, err := core.New(sk, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatal("should resolve")
+	}
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := state.NewLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mc.Check(l, res.Candidate, mc.Options{NoLocalFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mres.OK {
+		t.Fatalf("re-lowered program refutes the synthesized candidate: %s", mres.Trace)
+	}
+}

@@ -1,0 +1,310 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The lock-free FIFO queue of §2: PrevHead/Tail pointers, an atomic
+// swap primitive, and `taken` flags instead of physical removal.
+//
+// Values are tagged producer*4+seq so the epilogue can check the
+// paper's correctness conditions: sequential consistency (per-producer
+// FIFO through the list structure, whose order is the swap order) and
+// structural integrity (reachability, tail.next == null, no cycles — a
+// cycle trips the walk's termination bound —, prevHead.taken == 1, no
+// untaken node before a taken one), plus memory safety and
+// every-dequeued-value-was-enqueued-and-taken accounting.
+
+const queueStructs = `
+struct QueueEntry {
+	QueueEntry next = null;
+	int stored;
+	int taken = 0;
+}
+
+QueueEntry head0;
+QueueEntry prevHead;
+QueueEntry tail;
+`
+
+// enqueueRestricted is queueE1's Enqueue: the same shape as Figure 2
+// with two small choices left open (|C| = 4).
+const enqueueRestricted = `
+void Enqueue(int v) {
+	QueueEntry tmp = null;
+	QueueEntry newEntry = new QueueEntry(v);
+	tmp = AtomicSwap({| tail | tail.next |}, newEntry);
+	{| tmp | newEntry |}.next = newEntry;
+}
+`
+
+// enqueueFull is the Figure 1 sketch verbatim (|C| = 1,975,680).
+const enqueueFull = `
+#define aLocation {| tail(.next)? | (tmp|newEntry).next |}
+#define aValue {| (tail|tmp|newEntry)(.next)? | null |}
+#define anExpr(x,y) {| x==y | x!=y | false |}
+
+void Enqueue(int v) {
+	QueueEntry tmp = null;
+	QueueEntry newEntry = new QueueEntry(v);
+	reorder {
+		aLocation = aValue;
+		tmp = AtomicSwap(aLocation, aValue);
+		if (anExpr(tmp, aValue)) { aLocation = aValue; }
+	}
+}
+`
+
+// dequeueFixed is the resolved concurrent Dequeue (Figure 4, made
+// null-safe), used by the queueE* benchmarks where only Enqueue is
+// sketched.
+const dequeueFixed = `
+int Dequeue() {
+	QueueEntry nextEntry = prevHead.next;
+	while (nextEntry != null && AtomicSwap(nextEntry.taken, 1) == 1) {
+		nextEntry = nextEntry.next;
+	}
+	if (nextEntry == null) { return 0 - 1; }
+	QueueEntry p = prevHead;
+	while (p.next != null && p.next.taken == 1) {
+		prevHead = p.next;
+		p = p.next;
+	}
+	return nextEntry.stored;
+}
+`
+
+// dequeueSketched is the single-while-loop Dequeue sketch of §8.2.1
+// (reorder of 4 statements × a 3-way × a 4-way generator = 288
+// candidates).
+const dequeueSketched = `
+int Dequeue() {
+	QueueEntry tmp = null;
+	int taken = 1;
+	while (taken == 1) {
+		reorder {
+			tmp = {| prevHead(.next)?(.next)? |};
+			if (tmp == null) { return 0 - 1; }
+			prevHead = {| (tmp|prevHead)(.next)? |};
+			if (tmp.taken == 0) { taken = AtomicSwap(tmp.taken, 1); }
+		}
+	}
+	return tmp.stored;
+}
+`
+
+// queueSource builds the complete benchmark program for a pattern.
+func queueSource(enqueue, dequeue, test string) (string, error) {
+	p, err := parsePattern(test)
+	if err != nil {
+		return "", err
+	}
+	totalEnq := p.count('e')
+	totalDeq := p.count('d')
+	nThreads := len(p.threads)
+	mainProducer := nThreads // producer tag for prologue+epilogue ops
+
+	var b strings.Builder
+	b.WriteString(queueStructs)
+	if totalDeq > 0 {
+		fmt.Fprintf(&b, "int[%d] results;\n", totalDeq)
+	}
+	fmt.Fprintf(&b, "bool[%d] takenv;\n", (mainProducer+1)*4)
+	b.WriteString(enqueue)
+	b.WriteString(dequeue)
+
+	b.WriteString("\nharness void Main() {\n")
+	b.WriteString("\thead0 = new QueueEntry(0);\n")
+	b.WriteString("\thead0.taken = 1;\n")
+	b.WriteString("\tprevHead = head0;\n")
+	b.WriteString("\ttail = head0;\n")
+
+	// Sequential prefixes are deterministic, so their dequeues must
+	// return the exact FIFO value.
+	deqSlot := 0
+	seq := map[int]int{} // producer -> next sequence number
+	var fifo []int       // values currently in the queue (for the deterministic prefix)
+	emitSeqOp := func(op byte, producer int) {
+		switch op {
+		case 'e':
+			v := producer*4 + seq[producer]
+			seq[producer]++
+			fifo = append(fifo, v)
+			fmt.Fprintf(&b, "\tEnqueue(%d);\n", v)
+		case 'd':
+			fmt.Fprintf(&b, "\tresults[%d] = Dequeue();\n", deqSlot)
+			if len(fifo) > 0 {
+				fmt.Fprintf(&b, "\tassert results[%d] == %d;\n", deqSlot, fifo[0])
+				fifo = fifo[1:]
+			} else {
+				fmt.Fprintf(&b, "\tassert results[%d] == 0 - 1;\n", deqSlot)
+			}
+			deqSlot++
+		}
+	}
+	for _, op := range []byte(p.pro) {
+		emitSeqOp(op, mainProducer)
+	}
+
+	// Fork phase: each thread runs its own op string; the fork index
+	// condition folds to a constant per thread.
+	fmt.Fprintf(&b, "\tfork (t; %d) {\n", nThreads)
+	for ti, ops := range p.threads {
+		fmt.Fprintf(&b, "\t\tif (t == %d) {\n", ti)
+		tseq := 0
+		for _, op := range []byte(ops) {
+			switch op {
+			case 'e':
+				fmt.Fprintf(&b, "\t\t\tEnqueue(%d);\n", ti*4+tseq)
+				tseq++
+			case 'd':
+				fmt.Fprintf(&b, "\t\t\tresults[%d] = Dequeue();\n", deqSlot)
+				deqSlot++
+			default:
+				fmt.Fprintf(&b, "\t\t\t/* bad op %c */\n", op)
+			}
+		}
+		b.WriteString("\t\t}\n")
+	}
+	b.WriteString("\t}\n")
+
+	// Epilogue ops: the queue content is no longer deterministic, but
+	// with at least as many prior enqueues as total dequeues each
+	// epilogue dequeue must succeed.
+	enqSoFar := totalEnq
+	deqBeforeEpi := deqSlot
+	for _, op := range []byte(p.epi) {
+		if op == 'e' {
+			v := mainProducer*4 + seq[mainProducer]
+			seq[mainProducer]++
+			fmt.Fprintf(&b, "\tEnqueue(%d);\n", v)
+			continue
+		}
+		fmt.Fprintf(&b, "\tresults[%d] = Dequeue();\n", deqSlot)
+		if enqSoFar-deqBeforeEpi > deqSlot-deqBeforeEpi {
+			fmt.Fprintf(&b, "\tassert results[%d] != 0 - 1;\n", deqSlot)
+		}
+		deqSlot++
+	}
+
+	// ---- correctness epilogue (see package comment) ----
+	b.WriteString("\tQueueEntry n = head0;\n")
+	b.WriteString("\tint cnt = 0;\n")
+	b.WriteString("\tint tcnt = 0;\n")
+	b.WriteString("\tint untakenSeen = 0;\n")
+	b.WriteString("\tint prevSeen = 0;\n")
+	b.WriteString("\tif (prevHead == head0) { prevSeen = 1; }\n")
+	for pr := 0; pr <= mainProducer; pr++ {
+		fmt.Fprintf(&b, "\tint last%d = 0 - 1;\n", pr)
+	}
+	b.WriteString("\twhile (n.next != null) {\n")
+	b.WriteString("\t\tn = n.next;\n")
+	b.WriteString("\t\tcnt = cnt + 1;\n")
+	b.WriteString("\t\tint v = n.stored;\n")
+	b.WriteString("\t\tint pp = v / 4;\n")
+	b.WriteString("\t\tint kk = v - pp * 4;\n")
+	for pr := 0; pr <= mainProducer; pr++ {
+		fmt.Fprintf(&b, "\t\tif (pp == %d) { assert kk > last%d; last%d = kk; }\n", pr, pr, pr)
+	}
+	b.WriteString("\t\tif (n.taken == 0) { untakenSeen = 1; }\n")
+	b.WriteString("\t\tif (n.taken == 1) { assert untakenSeen == 0; tcnt = tcnt + 1; takenv[v] = true; }\n")
+	b.WriteString("\t\tif (n == prevHead) { prevSeen = 1; }\n")
+	b.WriteString("\t}\n")
+	fmt.Fprintf(&b, "\tassert cnt == %d;\n", totalEnq)
+	b.WriteString("\tassert tail == n;\n")
+	b.WriteString("\tassert prevSeen == 1;\n")
+	b.WriteString("\tassert prevHead.taken == 1;\n")
+	// Completeness: each producer's values all present.
+	perProducer := map[int]int{}
+	for ti, ops := range p.threads {
+		perProducer[ti] = strings.Count(ops, "e")
+	}
+	perProducer[mainProducer] = seq[mainProducer]
+	for pr := 0; pr <= mainProducer; pr++ {
+		fmt.Fprintf(&b, "\tassert last%d == %d;\n", pr, perProducer[pr]-1)
+	}
+	// Dequeue accounting: successful results are distinct taken values.
+	if totalDeq > 0 {
+		b.WriteString("\tint succ = 0;\n")
+		for j := 0; j < totalDeq; j++ {
+			fmt.Fprintf(&b, "\tif (results[%d] != 0 - 1) { succ = succ + 1; assert takenv[results[%d]] == true; }\n", j, j)
+		}
+		b.WriteString("\tassert tcnt == succ;\n")
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func queueOpts(test string) desugar.Options {
+	p, err := parsePattern(test)
+	if err != nil {
+		return desugar.Options{}
+	}
+	// The epilogue walk and the dequeue scans visit at most
+	// totalEnq+1 nodes.
+	return desugar.Options{
+		IntWidth:  6,
+		LoopBound: p.count('e') + 2,
+	}
+}
+
+var queueTests = []string{"ed(ee|dd)", "ed(ed|ed)", "(e|e|e)ddd"}
+
+// QueueE1 is Table 1's queueE1: the restricted Enqueue sketch, |C|=4.
+func QueueE1() *Benchmark {
+	return &Benchmark{
+		Name: "queueE1",
+		Source: func(test string) (string, error) {
+			return queueSource(enqueueRestricted, dequeueFixed, test)
+		},
+		Opts:       queueOpts,
+		Tests:      queueTests,
+		Resolvable: map[string]bool{"ed(ee|dd)": true, "ed(ed|ed)": true, "(e|e|e)ddd": true},
+		PaperC:     0.6, // |C| = 4
+	}
+}
+
+// QueueE2 is Table 1's queueE2: the full Figure 1 Enqueue, |C|≈2·10⁶.
+func QueueE2() *Benchmark {
+	return &Benchmark{
+		Name: "queueE2",
+		Source: func(test string) (string, error) {
+			return queueSource(enqueueFull, dequeueFixed, test)
+		},
+		Opts:       queueOpts,
+		Tests:      []string{"ed(ed|ed)", "(e|e|e)ddd"},
+		Resolvable: map[string]bool{"ed(ed|ed)": true, "(e|e|e)ddd": true},
+		PaperC:     6,
+	}
+}
+
+// QueueDE1 is queueE1 plus the sketched Dequeue (|C|≈10³).
+func QueueDE1() *Benchmark {
+	return &Benchmark{
+		Name: "queueDE1",
+		Source: func(test string) (string, error) {
+			return queueSource(enqueueRestricted, dequeueSketched, test)
+		},
+		Opts:       queueOpts,
+		Tests:      []string{"ed(ee|dd)", "ed(ed|ed)"},
+		Resolvable: map[string]bool{"ed(ee|dd)": true, "ed(ed|ed)": true},
+		PaperC:     3,
+	}
+}
+
+// QueueDE2 is queueE2 plus the sketched Dequeue (|C|≈10⁸).
+func QueueDE2() *Benchmark {
+	return &Benchmark{
+		Name: "queueDE2",
+		Source: func(test string) (string, error) {
+			return queueSource(enqueueFull, dequeueSketched, test)
+		},
+		Opts:       queueOpts,
+		Tests:      []string{"ed(ed|ed)"},
+		Resolvable: map[string]bool{"ed(ed|ed)": true},
+		PaperC:     8,
+	}
+}

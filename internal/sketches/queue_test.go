@@ -1,0 +1,133 @@
+package sketches
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/parser"
+	"psketch/internal/printer"
+	"psketch/internal/state"
+)
+
+func compile(t *testing.T, b *Benchmark, test string) *desugar.Sketch {
+	t.Helper()
+	src, err := b.Source(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	sk, err := desugar.Desugar(prog, "Main", b.Opts(test))
+	if err != nil {
+		t.Fatalf("desugar: %v", err)
+	}
+	return sk
+}
+
+func synth(t *testing.T, b *Benchmark, test string, verbose bool) (*core.Result, *desugar.Sketch) {
+	t.Helper()
+	sk := compile(t, b, test)
+	opts := core.Options{}
+	if b.Name == "dinphilo" && strings.HasPrefix(test, "N=5") {
+		// Like the paper's 746-second SPIN run, this row needs a much
+		// larger verifier budget.
+		opts.MCMaxStates = 60_000_000
+	}
+	if verbose {
+		opts.Verbose = t.Logf
+	}
+	syn, err := core.New(sk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sk
+}
+
+func TestQueueE1Count(t *testing.T) {
+	sk := compile(t, QueueE1(), "ed(ed|ed)")
+	if sk.Count.Int64() != 4 {
+		t.Fatalf("|C| = %s, want 4", sk.Count)
+	}
+}
+
+// The Figure 1 Enqueue sketch must count exactly 1,975,680 candidates
+// per §2 (times the fixed Dequeue's 1).
+func TestQueueE2Count(t *testing.T) {
+	sk := compile(t, QueueE2(), "ed(ed|ed)")
+	if sk.Count.Int64() != 1975680 {
+		t.Fatalf("|C| = %s, want 1975680", sk.Count)
+	}
+}
+
+func TestQueueE1Synthesize(t *testing.T) {
+	res, sk := synth(t, QueueE1(), "ed(ed|ed)", true)
+	if !res.Resolved {
+		t.Fatal("queueE1 should resolve")
+	}
+	code, err := printer.Resolve(sk, res.Candidate, "Enqueue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resolved Enqueue:\n%s", code)
+	t.Logf("iterations=%d states=%d total=%v", res.Stats.Iterations, res.Stats.MCStates, res.Stats.Total)
+}
+
+// Exactly one of queueE1's four candidates may pass the verifier: the
+// Figure 2 implementation. This checks the harness is strong enough to
+// refute the other three.
+func TestQueueE1HarnessStrength(t *testing.T) {
+	sk := compile(t, QueueE1(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := 0
+	for c0 := int64(0); c0 < 2; c0++ {
+		for c1 := int64(0); c1 < 2; c1++ {
+			res, err := mc.Check(layout, desugar.Candidate{c0, c1}, mc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("candidate [%d %d]: ok=%v states=%d", c0, c1, res.OK, res.States)
+			if res.OK {
+				okCount++
+				if c0 != 0 || c1 != 0 {
+					t.Errorf("wrong candidate [%d %d] passed", c0, c1)
+				}
+			}
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d candidates passed, want 1", okCount)
+	}
+}
+
+func TestQueueE2Synthesize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long synthesis run")
+	}
+	res, sk := synth(t, QueueE2(), "ed(ed|ed)", true)
+	if !res.Resolved {
+		t.Fatal("queueE2 should resolve")
+	}
+	code, err := printer.Resolve(sk, res.Candidate, "Enqueue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resolved Enqueue:\n%s", code)
+	t.Logf("iterations=%d states=%d total=%v", res.Stats.Iterations, res.Stats.MCStates, res.Stats.Total)
+}

@@ -1,0 +1,92 @@
+// Package sketches contains the benchmark sketches of Table 1 — the
+// lock-free queue (queueE1/E2/DE1/DE2), the sense-reversing barrier
+// (barrier1/2), the finely locked list-based set (fineset1/2), the
+// singly-locked lazy-list remove (lazyset), and the dining philosophers
+// protocol (dinphilo) — together with the workload patterns of
+// Figure 9 ("ed(ed|ed)", "N=3,B=2", "ar(ar|ar)", ...).
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// Benchmark describes one Table 1 sketch and its Figure 9 test grid.
+type Benchmark struct {
+	Name string
+	// Source builds the complete sketch text for one test pattern.
+	Source func(test string) (string, error)
+	// Opts are the bounded-machine options the benchmark needs.
+	Opts func(test string) desugar.Options
+	// Tests is the Figure 9 grid for this benchmark.
+	Tests []string
+	// Resolvable gives the expected verdict per test.
+	Resolvable map[string]bool
+	// PaperC is Table 1's |C| as an order of magnitude (log10), with
+	// -1 meaning "an exact small count" (queueE1's 4).
+	PaperC float64
+}
+
+// pattern is a parsed workload like "ed(ee|dd)": a sequential prologue,
+// per-thread operation strings, and a sequential epilogue.
+type pattern struct {
+	pro     string
+	threads []string
+	epi     string
+}
+
+func parsePattern(s string) (pattern, error) {
+	open := strings.IndexByte(s, '(')
+	closeP := strings.IndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return pattern{}, fmt.Errorf("sketches: bad test pattern %q", s)
+	}
+	p := pattern{
+		pro: s[:open],
+		epi: s[closeP+1:],
+	}
+	for _, t := range strings.Split(s[open+1:closeP], "|") {
+		p.threads = append(p.threads, t)
+	}
+	if len(p.threads) == 0 {
+		return pattern{}, fmt.Errorf("sketches: no threads in pattern %q", s)
+	}
+	return p, nil
+}
+
+// count returns the number of occurrences of op in the whole pattern.
+func (p pattern) count(op byte) int {
+	n := strings.Count(p.pro, string(op)) + strings.Count(p.epi, string(op))
+	for _, t := range p.threads {
+		n += strings.Count(t, string(op))
+	}
+	return n
+}
+
+// All returns every benchmark in Table 1 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		QueueE1(), QueueE2(), QueueDE1(), QueueDE2(),
+		Barrier1(), Barrier2(),
+		FineSet1(), FineSet2(),
+		LazySet(), DinPhilo(),
+	}
+}
+
+// Extras returns extension benchmarks beyond Table 1 (structures the
+// paper mentions sketching but does not tabulate, §8.2).
+func Extras() []*Benchmark {
+	return []*Benchmark{Treiber(), LazyFull()}
+}
+
+// ByName returns the named benchmark (including extensions), or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range append(All(), Extras()...) {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

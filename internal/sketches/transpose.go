@@ -1,0 +1,67 @@
+package sketches
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/desugar"
+)
+
+// The §3 sequential SKETCH example: a 4×4 matrix transpose implemented
+// with the SIMD semi-permute instruction shufps, written as
+//
+//	repeat (??) S[??::4] = shufps(M[??::4], M[??::4], ??);
+//	repeat (??) T[??::4] = shufps(S[??::4], S[??::4], ??);
+//
+// against the loop-nest specification. The 2×2 variant scales the same
+// sketch down for fast tests.
+
+// TransposeSource builds the sketch for an n×n transpose (n = 2 or 4).
+func TransposeSource(n int) string {
+	cells := n * n
+	ibits := 1
+	for (1 << ibits) < n {
+		ibits++
+	}
+	selBits := n * ibits // shuf control: one lane index per output cell
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "int[%d] trans(int[%d] M) {\n", cells, cells)
+	fmt.Fprintf(&b, "\tint[%d] T = 0;\n", cells)
+	fmt.Fprintf(&b, "\tint i = 0;\n\twhile (i < %d) {\n\t\tint j = 0;\n\t\twhile (j < %d) {\n", n, n)
+	fmt.Fprintf(&b, "\t\t\tT[%d * i + j] = M[%d * j + i];\n", n, n)
+	b.WriteString("\t\t\tj = j + 1;\n\t\t}\n\t\ti = i + 1;\n\t}\n\treturn T;\n}\n\n")
+
+	fmt.Fprintf(&b, "int[%d] shuf(int[%d] x1, int[%d] x2, bit[%d] b) {\n", n, n, n, selBits)
+	fmt.Fprintf(&b, "\tint[%d] s = 0;\n", n)
+	for i := 0; i < n; i++ {
+		src := "x1"
+		if i >= n/2 {
+			src = "x2"
+		}
+		fmt.Fprintf(&b, "\ts[%d] = %s[(int) b[%d::%d]];\n", i, src, i*ibits, ibits)
+	}
+	b.WriteString("\treturn s;\n}\n\n")
+
+	fmt.Fprintf(&b, "int[%d] trans_sse(int[%d] M) implements trans {\n", cells, cells)
+	fmt.Fprintf(&b, "\tint[%d] S = 0;\n\tint[%d] T = 0;\n", cells, cells)
+	fmt.Fprintf(&b, "\trepeat (??) S[??::%d] = shuf(M[??::%d], M[??::%d], ??);\n", n, n, n)
+	fmt.Fprintf(&b, "\trepeat (??) T[??::%d] = shuf(S[??::%d], S[??::%d], ??);\n", n, n, n)
+	b.WriteString("\treturn T;\n}\n")
+	return b.String()
+}
+
+// TransposeOpts returns suitable bounded-machine options for an n×n
+// transpose sketch.
+func TransposeOpts(n int) desugar.Options {
+	holeW := 1
+	for (1 << holeW) < n*n {
+		holeW++
+	}
+	return desugar.Options{
+		IntWidth:  4, // matrix values; equality only
+		HoleWidth: holeW,
+		LoopBound: n + 1,
+		MaxRepeat: n,
+	}
+}

@@ -1,0 +1,152 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/parser"
+)
+
+func layoutFor(t *testing.T, src string) (*ir.Program, *Layout) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "Main", desugar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, l
+}
+
+const layoutSrc = `
+struct N { N next = null; int v; }
+N head;
+int[3] xs;
+bool flag;
+harness void Main() {
+	head = new N(1);
+	N extra = new N(2);
+	head.next = extra;
+	fork (i; 2) {
+		int t = i;
+		t = t;
+	}
+}
+`
+
+// Every storage cell must get a distinct offset, and the total must
+// cover globals, arenas and all sequences' locals.
+func TestDisjointOffsets(t *testing.T) {
+	p, l := layoutFor(t, layoutSrc)
+	used := map[int]string{}
+	claim := func(off, n int, what string) {
+		for i := 0; i < n; i++ {
+			if prev, ok := used[off+i]; ok {
+				t.Fatalf("cell %d claimed by %s and %s", off+i, prev, what)
+			}
+			used[off+i] = what
+		}
+	}
+	for i, g := range p.Globals {
+		n := 1
+		if g.Type.IsArray() {
+			n = g.Type.Len
+		}
+		claim(l.GlobalOff(i), n, "global "+g.Name)
+	}
+	for name, arena := range p.Arenas {
+		si := p.Sketch.Info.Structs[name]
+		for slot := 1; slot <= arena; slot++ {
+			for _, f := range si.Fields {
+				off, err := l.FieldOff(name, f.Name, int32(slot))
+				if err != nil {
+					t.Fatal(err)
+				}
+				claim(off, 1, name+"."+f.Name)
+			}
+		}
+	}
+	seqs := []*ir.Seq{p.GlobalInit, p.Prologue, p.Epilogue}
+	seqs = append(seqs, p.Threads...)
+	for _, sq := range seqs {
+		if sq == nil {
+			continue
+		}
+		for i, v := range sq.Locals {
+			n := 1
+			if v.Type.IsArray() {
+				n = v.Type.Len
+			}
+			claim(l.LocalOff(sq, i), n, sq.Name+"."+v.Name)
+		}
+	}
+	if len(used) != l.Size {
+		t.Fatalf("claimed %d cells, layout size %d", len(used), l.Size)
+	}
+}
+
+func TestFieldOffBounds(t *testing.T) {
+	p, l := layoutFor(t, layoutSrc)
+	_ = p
+	if _, err := l.FieldOff("N", "v", 0); err == nil {
+		t.Fatal("slot 0 (null) must be rejected")
+	}
+	if _, err := l.FieldOff("N", "v", 99); err == nil {
+		t.Fatal("out-of-arena slot must be rejected")
+	}
+	if _, err := l.FieldOff("N", "nope", 1); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+}
+
+// Key is injective in practice: differing cells or pcs give different
+// keys; equal states give equal keys.
+func TestKeyProperty(t *testing.T) {
+	_, l := layoutFor(t, layoutSrc)
+	base := l.NewState()
+	f := func(idx uint8, delta int32, pcFlip bool) bool {
+		s1 := base.Clone()
+		s2 := s1.Clone()
+		if s1.Key() != s2.Key() {
+			return false
+		}
+		if pcFlip && len(s2.PCs) > 0 {
+			s2.PCs[int(idx)%len(s2.PCs)]++
+		} else if len(s2.Cells) > 0 {
+			i := int(idx) % len(s2.Cells)
+			s2.Cells[i] += delta | 1
+		}
+		return s1.Key() != s2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, l := layoutFor(t, layoutSrc)
+	a := l.NewState()
+	b := a.Clone()
+	b.Cells[0] = 42
+	if a.Cells[0] == 42 {
+		t.Fatal("clone shares cell storage")
+	}
+	if len(b.PCs) > 0 {
+		b.PCs[0] = 7
+		if a.PCs[0] == 7 {
+			t.Fatal("clone shares pc storage")
+		}
+	}
+}

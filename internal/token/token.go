@@ -1,0 +1,160 @@
+// Package token defines the lexical tokens of the PSketch language and
+// source positions used in diagnostics throughout the front-end.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds. Literal kinds carry their text in Token.Lit.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // Enqueue, tail, x
+	INT    // 42
+	BITS   // "11001000" (bit-array literal, kept as text)
+	HOLE   // ??
+	REGEN  // {| ... |} (generator body, kept as raw text)
+	DEFINE // #define (handled by the preprocessor, surfaced for errors)
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	ASSIGN // =
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+
+	COMMA  // ,
+	SEMI   // ;
+	DOT    // .
+	COLON2 // ::
+
+	// Keywords.
+	KwInt
+	KwBool
+	KwBit
+	KwVoid
+	KwStruct
+	KwNew
+	KwNull
+	KwTrue
+	KwFalse
+	KwIf
+	KwElse
+	KwWhile
+	KwReturn
+	KwAssert
+	KwAtomic
+	KwFork
+	KwReorder
+	KwRepeat
+	KwLock
+	KwUnlock
+	KwImplements
+	KwGenerator
+	KwHarness
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT",
+	BITS: "BITS", HOLE: "??", REGEN: "REGEN", DEFINE: "#define",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQ: "==", NEQ: "!=", LT: "<", LEQ: "<=", GT: ">", GEQ: ">=",
+	ASSIGN: "=",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	COMMA: ",", SEMI: ";", DOT: ".", COLON2: "::",
+	KwInt: "int", KwBool: "bool", KwBit: "bit", KwVoid: "void",
+	KwStruct: "struct", KwNew: "new", KwNull: "null",
+	KwTrue: "true", KwFalse: "false",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwReturn: "return",
+	KwAssert: "assert", KwAtomic: "atomic", KwFork: "fork",
+	KwReorder: "reorder", KwRepeat: "repeat",
+	KwLock: "lock", KwUnlock: "unlock",
+	KwImplements: "implements", KwGenerator: "generator", KwHarness: "harness",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "bool": KwBool, "bit": KwBit, "void": KwVoid,
+	"struct": KwStruct, "new": KwNew, "null": KwNull,
+	"true": KwTrue, "false": KwFalse,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "return": KwReturn,
+	"assert": KwAssert, "atomic": KwAtomic, "fork": KwFork,
+	"reorder": KwReorder, "repeat": KwRepeat,
+	"lock": KwLock, "unlock": KwUnlock,
+	"implements": KwImplements, "generator": KwGenerator, "harness": KwHarness,
+}
+
+// Pos is a source position: byte offset plus human-readable line/column.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (p Pos) String() string {
+	if p.Line == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, BITS, REGEN
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, BITS:
+		return t.Lit
+	case REGEN:
+		return "{|" + t.Lit + "|}"
+	}
+	return t.Kind.String()
+}
+
+// Error is a positioned diagnostic produced by the front-end.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Errorf builds a positioned error.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,61 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		ADD: "+", EQ: "==", LAND: "&&", HOLE: "??",
+		KwReorder: "reorder", KwAtomic: "atomic", KwFork: "fork",
+		COLON2: "::", EOF: "EOF",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(9999).String(), "Kind(") {
+		t.Error("unknown kind should print its number")
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	for name, k := range Keywords {
+		if k.String() != name {
+			t.Errorf("keyword %q maps to kind printing %q", name, k.String())
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Lit: "tail"}, "tail"},
+		{Token{Kind: INT, Lit: "42"}, "42"},
+		{Token{Kind: REGEN, Lit: "a | b"}, "{|a | b|}"},
+		{Token{Kind: HOLE}, "??"},
+	}
+	for _, c := range cases {
+		if c.tok.String() != c.want {
+			t.Errorf("got %q want %q", c.tok.String(), c.want)
+		}
+	}
+}
+
+func TestPosAndError(t *testing.T) {
+	p := Pos{Offset: 10, Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Fatalf("pos %q", p)
+	}
+	if (Pos{}).String() != "-" {
+		t.Fatal("zero pos should print -")
+	}
+	err := Errorf(p, "bad %s", "thing")
+	if err.Error() != "3:7: bad thing" {
+		t.Fatalf("err %q", err)
+	}
+}

@@ -1,0 +1,339 @@
+package types
+
+import (
+	"psketch/internal/ast"
+	"psketch/internal/parser"
+	"psketch/internal/regen"
+	"psketch/internal/token"
+)
+
+// Builtin atomic primitives (§4.2). The first argument of each is an
+// l-value evaluated for its location.
+var builtinNames = map[string]bool{
+	"AtomicSwap":        true,
+	"CAS":               true,
+	"AtomicReadAndDecr": true,
+	"AtomicReadAndIncr": true,
+}
+
+// IsBuiltin reports whether name is a builtin atomic primitive.
+func IsBuiltin(name string) bool { return builtinNames[name] }
+
+// checkExpr checks e against an optional expected type and returns the
+// resolved type, recording it in the Info.
+func (c *checker) checkExpr(e ast.Expr, want *Type, sc *scope) Type {
+	t := c.typeExpr(e, want, sc)
+	c.info.Types[e] = t
+	return t
+}
+
+// tryCheck runs checkExpr but converts a failure into (zero, false).
+// Used to filter generator choices.
+func (c *checker) tryCheck(e ast.Expr, want *Type, sc *scope) (t Type, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCheck := r.(checkError); isCheck {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return c.checkExpr(e, want, sc), true
+}
+
+func (c *checker) typeExpr(e ast.Expr, want *Type, sc *scope) Type {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := sc.lookup(x.Name); ok {
+			return t
+		}
+		if t, ok := c.globals[x.Name]; ok {
+			return t
+		}
+		c.failf(x, "undefined variable %s", x.Name)
+	case *ast.IntLit:
+		return TInt
+	case *ast.BoolLit:
+		return TBool
+	case *ast.NullLit:
+		return Type{Base: Ref} // wildcard reference
+	case *ast.BitsLit:
+		return ArrayOf(TBool, len(x.Text))
+	case *ast.Hole:
+		if want != nil {
+			switch {
+			case want.Base == Int, want.Base == Bool:
+				return *want
+			case want.Base == Ref:
+				c.failf(x, "?? cannot produce a pointer; use a {| ... |} generator")
+			}
+		}
+		return TInt
+	case *ast.Regen:
+		return c.checkRegen(x, want, sc)
+	case *ast.Unary:
+		switch x.Op {
+		case token.NOT:
+			w := TBool
+			if got := c.checkExpr(x.X, &w, sc); !got.Equal(TBool) {
+				c.failf(x, "! needs bool, got %s", got)
+			}
+			return TBool
+		case token.SUB:
+			w := TInt
+			if got := c.checkExpr(x.X, &w, sc); !got.Equal(TInt) {
+				c.failf(x, "unary - needs int, got %s", got)
+			}
+			return TInt
+		}
+		c.failf(x, "bad unary operator %s", x.Op)
+	case *ast.Binary:
+		return c.checkBinary(x, sc)
+	case *ast.FieldExpr:
+		recv := c.checkExpr(x.X, nil, sc)
+		if recv.Base != Ref || recv.IsArray() {
+			c.failf(x, "field access on non-reference type %s", recv)
+		}
+		si := c.info.Structs[recv.Struct]
+		if si == nil {
+			c.failf(x, "field access on null-typed expression")
+		}
+		f, i := si.Field(x.Name)
+		if i < 0 {
+			c.failf(x, "struct %s has no field %s", recv.Struct, x.Name)
+		}
+		return f.Type
+	case *ast.IndexExpr:
+		arr := c.checkExpr(x.X, nil, sc)
+		if !arr.IsArray() {
+			c.failf(x, "indexing non-array type %s", arr)
+		}
+		w := TInt
+		if got := c.checkExpr(x.Index, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "array index must be int, got %s", got)
+		}
+		return arr.Elem()
+	case *ast.SliceExpr:
+		arr := c.checkExpr(x.X, nil, sc)
+		if !arr.IsArray() {
+			c.failf(x, "slicing non-array type %s", arr)
+		}
+		w := TInt
+		if got := c.checkExpr(x.Start, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "slice start must be int, got %s", got)
+		}
+		if x.Len > arr.Len {
+			c.failf(x, "slice of %d cells from array of %d", x.Len, arr.Len)
+		}
+		return ArrayOf(arr.Elem(), x.Len)
+	case *ast.CallExpr:
+		return c.checkCall(x, sc)
+	case *ast.CastExpr:
+		ct := c.resolveType(x.Type)
+		if !ct.Equal(TInt) {
+			c.failf(x, "only (int) casts are supported")
+		}
+		got := c.checkExpr(x.X, nil, sc)
+		if got.Base != Bool {
+			c.failf(x, "(int) cast needs a bit or bit array, got %s", got)
+		}
+		return TInt
+	case *ast.NewExpr:
+		si := c.info.Structs[x.Type]
+		if si == nil {
+			c.failf(x, "new of unknown struct %s", x.Type)
+		}
+		ctor := si.CtorFields()
+		if len(x.Args) != len(ctor) {
+			c.failf(x, "new %s expects %d argument(s), got %d", x.Type, len(ctor), len(x.Args))
+		}
+		for i, a := range x.Args {
+			ft := si.Fields[ctor[i]].Type
+			got := c.checkExpr(a, &ft, sc)
+			if !got.Equal(ft) {
+				c.failf(a, "new %s: argument %d has type %s, want %s", x.Type, i, got, ft)
+			}
+		}
+		return RefTo(x.Type)
+	}
+	c.failf(e, "unhandled expression %T", e)
+	return Type{}
+}
+
+func (c *checker) checkBinary(x *ast.Binary, sc *scope) Type {
+	switch x.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		w := TInt
+		if got := c.checkExpr(x.X, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "%s needs int operands, got %s", x.Op, got)
+		}
+		if got := c.checkExpr(x.Y, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "%s needs int operands, got %s", x.Op, got)
+		}
+		return TInt
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		w := TInt
+		if got := c.checkExpr(x.X, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "%s needs int operands, got %s", x.Op, got)
+		}
+		if got := c.checkExpr(x.Y, &w, sc); !got.Equal(TInt) {
+			c.failf(x, "%s needs int operands, got %s", x.Op, got)
+		}
+		return TBool
+	case token.LAND, token.LOR:
+		w := TBool
+		if got := c.checkExpr(x.X, &w, sc); !got.Equal(TBool) {
+			c.failf(x, "%s needs bool operands, got %s", x.Op, got)
+		}
+		if got := c.checkExpr(x.Y, &w, sc); !got.Equal(TBool) {
+			c.failf(x, "%s needs bool operands, got %s", x.Op, got)
+		}
+		return TBool
+	case token.EQ, token.NEQ:
+		lt := c.checkExpr(x.X, nil, sc)
+		rt := c.checkExpr(x.Y, &lt, sc)
+		if lt.IsArray() || rt.IsArray() {
+			c.failf(x, "cannot compare arrays")
+		}
+		if !lt.Equal(rt) {
+			c.failf(x, "cannot compare %s with %s", lt, rt)
+		}
+		// If the left side was a wildcard (null or hole-ish), adopt the
+		// right side's type for it.
+		if lt.Base == Ref && lt.Struct == "" && rt.Struct != "" {
+			c.info.Types[x.X] = rt
+		}
+		return TBool
+	}
+	c.failf(x, "bad binary operator %s", x.Op)
+	return Type{}
+}
+
+func (c *checker) checkCall(x *ast.CallExpr, sc *scope) Type {
+	if IsBuiltin(x.Fun) {
+		return c.checkBuiltin(x, sc)
+	}
+	fi, ok := c.info.Funcs[x.Fun]
+	if !ok {
+		c.failf(x, "call to unknown function %s", x.Fun)
+	}
+	if fi.Decl.Harness {
+		c.failf(x, "cannot call harness function %s", x.Fun)
+	}
+	if len(x.Args) != len(fi.Params) {
+		c.failf(x, "%s expects %d argument(s), got %d", x.Fun, len(fi.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		w := fi.Params[i]
+		got := c.checkExpr(a, &w, sc)
+		if !got.Equal(fi.Params[i]) {
+			c.failf(a, "%s: argument %d has type %s, want %s", x.Fun, i, got, fi.Params[i])
+		}
+	}
+	return fi.Ret
+}
+
+func (c *checker) checkBuiltin(x *ast.CallExpr, sc *scope) Type {
+	checkLoc := func(i int) Type {
+		a := x.Args[i]
+		switch a.(type) {
+		case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr, *ast.Regen:
+			return c.checkLValue(a, sc)
+		}
+		c.failf(a, "%s: argument %d must be an assignable location", x.Fun, i)
+		return Type{}
+	}
+	switch x.Fun {
+	case "AtomicSwap":
+		if len(x.Args) != 2 {
+			c.failf(x, "AtomicSwap(loc, v) expects 2 arguments, got %d", len(x.Args))
+		}
+		lt := checkLoc(0)
+		if lt.IsArray() {
+			c.failf(x, "AtomicSwap location must be scalar, got %s", lt)
+		}
+		got := c.checkExpr(x.Args[1], &lt, sc)
+		if !got.Equal(lt) {
+			c.failf(x, "AtomicSwap: value type %s does not match location type %s", got, lt)
+		}
+		return lt
+	case "CAS":
+		if len(x.Args) != 3 {
+			c.failf(x, "CAS(loc, old, new) expects 3 arguments, got %d", len(x.Args))
+		}
+		lt := checkLoc(0)
+		if lt.IsArray() {
+			c.failf(x, "CAS location must be scalar, got %s", lt)
+		}
+		for i := 1; i <= 2; i++ {
+			got := c.checkExpr(x.Args[i], &lt, sc)
+			if !got.Equal(lt) {
+				c.failf(x, "CAS: argument %d has type %s, want %s", i, got, lt)
+			}
+		}
+		return TBool
+	case "AtomicReadAndDecr", "AtomicReadAndIncr":
+		if len(x.Args) != 1 {
+			c.failf(x, "%s(loc) expects 1 argument, got %d", x.Fun, len(x.Args))
+		}
+		lt := checkLoc(0)
+		if !lt.Equal(TInt) {
+			c.failf(x, "%s location must be int, got %s", x.Fun, lt)
+		}
+		return TInt
+	}
+	c.failf(x, "unknown builtin %s", x.Fun)
+	return Type{}
+}
+
+// checkRegen enumerates the generator's language, parses each string,
+// filters the type-valid choices, and infers the generator's type.
+func (c *checker) checkRegen(x *ast.Regen, want *Type, sc *scope) Type {
+	if x.Choices == nil {
+		strs, err := regen.Enumerate(x.Text)
+		if err != nil {
+			c.failf(x, "%v", err)
+		}
+		var parsed []ast.Expr
+		for _, s := range strs {
+			e, err := parser.ParseExprString(s)
+			if err != nil {
+				continue // not program text; drop, as with ill-typed strings
+			}
+			parsed = append(parsed, e)
+		}
+		if len(parsed) == 0 {
+			c.failf(x, "generator {|%s|}: no string parses as an expression", x.Text)
+		}
+		x.Choices = parsed
+	}
+	// Determine the target type.
+	target := want
+	if target == nil {
+		for _, ch := range x.Choices {
+			if t, ok := c.tryCheck(ch, nil, sc); ok {
+				if t.Base == Ref && t.Struct == "" {
+					continue // null wildcard: keep looking for a concrete type
+				}
+				tt := t
+				target = &tt
+				break
+			}
+		}
+		if target == nil {
+			c.failf(x, "generator {|%s|}: cannot infer a type for any choice", x.Text)
+		}
+	}
+	var valid []ast.Expr
+	for _, ch := range x.Choices {
+		if t, ok := c.tryCheck(ch, target, sc); ok && t.Equal(*target) {
+			valid = append(valid, ch)
+		}
+	}
+	if len(valid) == 0 {
+		c.failf(x, "generator {|%s|}: no choice has type %s", x.Text, *target)
+	}
+	x.Choices = valid
+	return *target
+}

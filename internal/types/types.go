@@ -1,0 +1,552 @@
+// Package types implements the PSketch type checker. Besides checking,
+// it resolves every {| ... |} generator to its type-valid choice list
+// (ill-typed strings such as null.next are silently dropped, as in the
+// paper) and annotates every expression with its type.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"psketch/internal/ast"
+)
+
+// Base enumerates the value categories of the bounded machine.
+type Base int
+
+// The base types. bit and bool are identified (a bit is a boolean);
+// bit[N] is an array of booleans.
+const (
+	Invalid Base = iota
+	Void
+	Int
+	Bool
+	Ref
+)
+
+// Type is a PSketch type: a scalar base or a fixed-length array of it.
+type Type struct {
+	Base   Base
+	Struct string // struct name when Base == Ref
+	Len    int    // > 0 => array
+}
+
+// Common scalar types.
+var (
+	TVoid = Type{Base: Void}
+	TInt  = Type{Base: Int}
+	TBool = Type{Base: Bool}
+)
+
+// RefTo returns the reference type for a struct.
+func RefTo(name string) Type { return Type{Base: Ref, Struct: name} }
+
+// ArrayOf returns the n-element array of a scalar type.
+func ArrayOf(elem Type, n int) Type {
+	elem.Len = n
+	return elem
+}
+
+// Elem returns the scalar element type of an array type.
+func (t Type) Elem() Type {
+	t.Len = 0
+	return t
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t.Len > 0 }
+
+// Equal reports type identity. A null literal is given the wildcard
+// reference type Ref{""} which equals any reference type.
+func (t Type) Equal(o Type) bool {
+	if t.Base != o.Base || t.Len != o.Len {
+		return false
+	}
+	if t.Base == Ref {
+		return t.Struct == o.Struct || t.Struct == "" || o.Struct == ""
+	}
+	return true
+}
+
+func (t Type) String() string {
+	var b string
+	switch t.Base {
+	case Void:
+		return "void"
+	case Int:
+		b = "int"
+	case Bool:
+		b = "bool"
+	case Ref:
+		b = t.Struct
+		if b == "" {
+			b = "null"
+		}
+	default:
+		b = "invalid"
+	}
+	if t.Len > 0 {
+		return fmt.Sprintf("%s[%d]", b, t.Len)
+	}
+	return b
+}
+
+// FieldInfo describes one struct field.
+type FieldInfo struct {
+	Name    string
+	Type    Type
+	Default ast.Expr // nil => constructor argument
+}
+
+// StructInfo is the resolved form of a struct declaration. Every struct
+// carries an implicit int field "_lock" (owner pid; 0 = free) so that
+// lock(x)/unlock(x) work on any heap node, per Figure 7.
+type StructInfo struct {
+	Name   string
+	Fields []FieldInfo
+}
+
+// Field returns the field with the given name and its index, or -1.
+func (s *StructInfo) Field(name string) (FieldInfo, int) {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return f, i
+		}
+	}
+	return FieldInfo{}, -1
+}
+
+// CtorFields returns the indices of fields without defaults, in order.
+func (s *StructInfo) CtorFields() []int {
+	var idx []int
+	for i, f := range s.Fields {
+		if f.Default == nil && f.Name != LockField {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// LockField is the implicit per-node lock owner field.
+const LockField = "_lock"
+
+// FuncInfo is the resolved signature of a function.
+type FuncInfo struct {
+	Decl   *ast.FuncDecl
+	Ret    Type
+	Params []Type
+}
+
+// Info is the output of the checker.
+type Info struct {
+	Prog    *ast.Program
+	Structs map[string]*StructInfo
+	Funcs   map[string]*FuncInfo
+	Types   map[ast.Expr]Type
+}
+
+// TypeOf returns the resolved type of an expression.
+func (in *Info) TypeOf(e ast.Expr) Type { return in.Types[e] }
+
+// Check type-checks a parsed program.
+func Check(prog *ast.Program) (info *Info, err error) {
+	c := &checker{
+		info: &Info{
+			Prog:    prog,
+			Structs: map[string]*StructInfo{},
+			Funcs:   map[string]*FuncInfo{},
+			Types:   map[ast.Expr]Type{},
+		},
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(checkError); ok {
+				info, err = nil, ce.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	c.collect()
+	c.checkAll()
+	return c.info, nil
+}
+
+type checkError struct{ err error }
+
+type checker struct {
+	info    *Info
+	globals map[string]Type
+	cur     *FuncInfo // function being checked
+	inFork  bool
+}
+
+func (c *checker) failf(n ast.Node, format string, args ...any) {
+	pos := ""
+	if n != nil {
+		pos = n.Pos().String() + ": "
+	}
+	panic(checkError{fmt.Errorf("%s%s", pos, fmt.Sprintf(format, args...))})
+}
+
+// resolveType converts a syntactic type to a semantic one.
+func (c *checker) resolveType(t *ast.TypeExpr) Type {
+	if t == nil {
+		return TVoid
+	}
+	var base Type
+	switch t.Name {
+	case "int":
+		base = TInt
+	case "bool", "bit":
+		base = TBool
+	case "void":
+		if t.ArrayLen > 0 {
+			c.failf(t, "void cannot be an array")
+		}
+		return TVoid
+	case "Object":
+		c.failf(t, "use a struct type instead of Object")
+	default:
+		if _, ok := c.info.Structs[t.Name]; !ok {
+			c.failf(t, "unknown type %s", t.Name)
+		}
+		base = RefTo(t.Name)
+	}
+	if t.ArrayLen > 0 {
+		return ArrayOf(base, t.ArrayLen)
+	}
+	return base
+}
+
+// collect registers struct and function signatures.
+func (c *checker) collect() {
+	for _, s := range c.info.Prog.Structs {
+		if _, dup := c.info.Structs[s.Name]; dup {
+			c.failf(s, "duplicate struct %s", s.Name)
+		}
+		c.info.Structs[s.Name] = &StructInfo{Name: s.Name}
+	}
+	for _, s := range c.info.Prog.Structs {
+		si := c.info.Structs[s.Name]
+		for _, f := range s.Fields {
+			if _, i := si.Field(f.Name); i >= 0 {
+				c.failf(f, "duplicate field %s.%s", s.Name, f.Name)
+			}
+			si.Fields = append(si.Fields, FieldInfo{Name: f.Name, Type: c.resolveType(f.Type), Default: f.Default})
+		}
+		si.Fields = append(si.Fields, FieldInfo{Name: LockField, Type: TInt, Default: &ast.IntLit{Val: 0}})
+	}
+	for _, f := range c.info.Prog.Funcs {
+		if _, dup := c.info.Funcs[f.Name]; dup {
+			c.failf(f, "duplicate function %s", f.Name)
+		}
+		fi := &FuncInfo{Decl: f, Ret: c.resolveType(f.Ret)}
+		for _, p := range f.Params {
+			fi.Params = append(fi.Params, c.resolveType(p.Type))
+		}
+		c.info.Funcs[f.Name] = fi
+	}
+	c.globals = map[string]Type{}
+	for _, g := range c.info.Prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			c.failf(g, "duplicate global %s", g.Name)
+		}
+		c.globals[g.Name] = c.resolveType(g.Type)
+	}
+}
+
+// scope is a lexical scope of local variables.
+type scope struct {
+	parent *scope
+	vars   map[string]Type
+}
+
+func (s *scope) lookup(name string) (Type, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return Type{}, false
+}
+
+func (s *scope) child() *scope { return &scope{parent: s, vars: map[string]Type{}} }
+
+func (c *checker) checkAll() {
+	// Check struct field defaults (globals scope only).
+	for _, s := range c.info.Prog.Structs {
+		si := c.info.Structs[s.Name]
+		for i := range si.Fields {
+			f := &si.Fields[i]
+			if f.Default != nil {
+				want := f.Type
+				got := c.checkExpr(f.Default, &want, &scope{vars: map[string]Type{}})
+				if !got.Equal(f.Type) {
+					c.failf(f.Default, "field %s.%s default has type %s, want %s", s.Name, f.Name, got, f.Type)
+				}
+			}
+		}
+	}
+	for _, g := range c.info.Prog.Globals {
+		if g.Init != nil {
+			want := c.globals[g.Name]
+			got := c.checkExpr(g.Init, &want, &scope{vars: map[string]Type{}})
+			if !c.assignable(got, want, g.Init) {
+				c.failf(g, "global %s initializer has type %s, want %s", g.Name, got, want)
+			}
+		}
+	}
+	for _, f := range c.info.Prog.Funcs {
+		c.checkFunc(c.info.Funcs[f.Name])
+	}
+}
+
+func (c *checker) checkFunc(fi *FuncInfo) {
+	f := fi.Decl
+	if f.Implements != "" {
+		spec, ok := c.info.Funcs[f.Implements]
+		if !ok {
+			c.failf(f, "function %s implements unknown spec %s", f.Name, f.Implements)
+		}
+		if !fi.Ret.Equal(spec.Ret) || len(fi.Params) != len(spec.Params) {
+			c.failf(f, "signature of %s does not match spec %s", f.Name, f.Implements)
+		}
+		for i := range fi.Params {
+			if !fi.Params[i].Equal(spec.Params[i]) {
+				c.failf(f, "parameter %d of %s does not match spec %s", i, f.Name, f.Implements)
+			}
+		}
+	}
+	c.cur = fi
+	c.inFork = false
+	sc := &scope{vars: map[string]Type{}}
+	for i, p := range f.Params {
+		if _, dup := sc.vars[p.Name]; dup {
+			c.failf(p, "duplicate parameter %s", p.Name)
+		}
+		sc.vars[p.Name] = fi.Params[i]
+	}
+	c.checkBlock(f.Body, sc)
+	c.cur = nil
+}
+
+func (c *checker) checkBlock(b *ast.Block, sc *scope) {
+	inner := sc.child()
+	for _, s := range b.Stmts {
+		c.checkStmt(s, inner)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt, sc *scope) {
+	switch st := s.(type) {
+	case *ast.Block:
+		c.checkBlock(st, sc)
+	case *ast.DeclStmt:
+		t := c.resolveType(st.Type)
+		if t.Base == Void {
+			c.failf(st, "variable %s cannot be void", st.Name)
+		}
+		if st.Init != nil {
+			got := c.checkExpr(st.Init, &t, sc)
+			if !c.assignable(got, t, st.Init) {
+				c.failf(st, "cannot initialize %s (%s) with %s", st.Name, t, got)
+			}
+		}
+		if _, dup := sc.vars[st.Name]; dup {
+			c.failf(st, "redeclaration of %s", st.Name)
+		}
+		sc.vars[st.Name] = t
+	case *ast.AssignStmt:
+		lt := c.checkLValue(st.LHS, sc)
+		rhsWant := lt
+		if lt.IsArray() {
+			rhsWant = lt.Elem()
+			if _, isLit := st.RHS.(*ast.IntLit); !isLit {
+				rhsWant = lt
+			}
+		}
+		got := c.checkExpr(st.RHS, &rhsWant, sc)
+		if !c.assignable(got, lt, st.RHS) {
+			c.failf(st, "cannot assign %s to %s", got, lt)
+		}
+	case *ast.IfStmt:
+		want := TBool
+		if got := c.checkExpr(st.Cond, &want, sc); !got.Equal(TBool) {
+			c.failf(st.Cond, "if condition must be bool, got %s", got)
+		}
+		c.checkBlock(st.Then, sc)
+		if st.Else != nil {
+			c.checkStmt(st.Else, sc)
+		}
+	case *ast.WhileStmt:
+		want := TBool
+		if got := c.checkExpr(st.Cond, &want, sc); !got.Equal(TBool) {
+			c.failf(st.Cond, "while condition must be bool, got %s", got)
+		}
+		c.checkBlock(st.Body, sc)
+	case *ast.ReturnStmt:
+		if c.cur == nil {
+			c.failf(st, "return outside function")
+		}
+		if st.Val == nil {
+			if c.cur.Ret.Base != Void {
+				c.failf(st, "missing return value (function returns %s)", c.cur.Ret)
+			}
+			return
+		}
+		want := c.cur.Ret
+		got := c.checkExpr(st.Val, &want, sc)
+		if !got.Equal(c.cur.Ret) {
+			c.failf(st, "return type %s, function returns %s", got, c.cur.Ret)
+		}
+	case *ast.AssertStmt:
+		want := TBool
+		if got := c.checkExpr(st.Cond, &want, sc); !got.Equal(TBool) {
+			c.failf(st.Cond, "assert condition must be bool, got %s", got)
+		}
+	case *ast.AtomicStmt:
+		if st.Cond != nil {
+			want := TBool
+			if got := c.checkExpr(st.Cond, &want, sc); !got.Equal(TBool) {
+				c.failf(st.Cond, "atomic condition must be bool, got %s", got)
+			}
+		}
+		c.checkBlock(st.Body, sc)
+	case *ast.ForkStmt:
+		if !c.cur.Decl.Harness {
+			c.failf(st, "fork is only allowed in a harness function")
+		}
+		if c.inFork {
+			c.failf(st, "nested fork is not supported")
+		}
+		want := TInt
+		if got := c.checkExpr(st.N, &want, sc); !got.Equal(TInt) {
+			c.failf(st.N, "fork thread count must be int, got %s", got)
+		}
+		inner := sc.child()
+		inner.vars[st.Var] = TInt
+		c.inFork = true
+		c.checkBlock(st.Body, inner)
+		c.inFork = false
+	case *ast.ReorderStmt:
+		c.checkBlock(st.Body, sc)
+	case *ast.RepeatStmt:
+		want := TInt
+		if got := c.checkExpr(st.Count, &want, sc); !got.Equal(TInt) {
+			c.failf(st.Count, "repeat count must be int, got %s", got)
+		}
+		c.checkStmt(st.Body, sc.child())
+	case *ast.LockStmt:
+		t := c.checkExpr(st.Target, nil, sc)
+		if t.Base != Ref || t.IsArray() {
+			c.failf(st, "lock/unlock target must be a struct reference, got %s", t)
+		}
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			c.failf(st, "expression statement must be a call")
+		}
+		c.checkExpr(call, nil, sc)
+	default:
+		c.failf(s, "unhandled statement %T", s)
+	}
+}
+
+// assignable reports whether a value of type got (produced by rhs) can
+// be assigned to a location of type want. Besides type identity, a
+// scalar literal may fill an entire array ("int[16] T = 0;" as in §3).
+func (c *checker) assignable(got, want Type, rhs ast.Expr) bool {
+	if got.Equal(want) {
+		return true
+	}
+	if want.IsArray() && got.Equal(want.Elem()) {
+		switch rhs.(type) {
+		case *ast.IntLit, *ast.BoolLit, *ast.NullLit:
+			return true
+		}
+	}
+	return false
+}
+
+// checkLValue checks that e is assignable and returns its type.
+func (c *checker) checkLValue(e ast.Expr, sc *scope) Type {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr, *ast.SliceExpr:
+		return c.checkExpr(e, nil, sc)
+	case *ast.Regen:
+		t := c.checkExpr(e, nil, sc)
+		for _, ch := range x.Choices {
+			switch ch.(type) {
+			case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr:
+			default:
+				c.failf(e, "generator used as assignment target has non-lvalue choice")
+			}
+		}
+		return t
+	}
+	c.failf(e, "not an assignable location")
+	return Type{}
+}
+
+// ExprString renders an expression compactly for diagnostics and for
+// the candidate pretty-printer.
+func ExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *ast.Ident:
+		return x.Name
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *ast.BoolLit:
+		if x.Val {
+			return "true"
+		}
+		return "false"
+	case *ast.NullLit:
+		return "null"
+	case *ast.BitsLit:
+		return "\"" + x.Text + "\""
+	case *ast.Hole:
+		if x.Width > 0 {
+			return fmt.Sprintf("??(%d)", x.Width)
+		}
+		return "??"
+	case *ast.Regen:
+		return "{| " + x.Text + " |}"
+	case *ast.Unary:
+		return x.Op.String() + parenthesize(x.X)
+	case *ast.Binary:
+		return parenthesize(x.X) + " " + x.Op.String() + " " + parenthesize(x.Y)
+	case *ast.FieldExpr:
+		return parenthesize(x.X) + "." + x.Name
+	case *ast.IndexExpr:
+		return parenthesize(x.X) + "[" + ExprString(x.Index) + "]"
+	case *ast.SliceExpr:
+		return fmt.Sprintf("%s[%s::%d]", parenthesize(x.X), ExprString(x.Start), x.Len)
+	case *ast.CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return x.Fun + "(" + strings.Join(args, ", ") + ")"
+	case *ast.CastExpr:
+		return "(" + x.Type.String() + ") " + parenthesize(x.X)
+	case *ast.NewExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return "new " + x.Type + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func parenthesize(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.Binary:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

@@ -1,0 +1,290 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"psketch/internal/ast"
+	"psketch/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func mustFail(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestWellTyped(t *testing.T) {
+	mustCheck(t, `
+struct Node { Node next = null; int key; }
+Node head;
+int[4] xs;
+bool flag;
+
+void f(int k) {
+	Node n = new Node(k);
+	n.next = head;
+	head = n;
+	xs[k] = n.key + 1;
+	flag = n.next == null || k < 3;
+	if (flag) { assert xs[0] == 0; }
+	while (k > 0) { k = k - 1; }
+}
+`)
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		"void f() { x = 1; }":                             "undefined variable",
+		"void f() { int x = true; }":                      "cannot initialize",
+		"void f(int x) { if (x) { } }":                    "must be bool",
+		"void f(int x) { bool b = x + true; }":            "int operands",
+		"struct S { int v; } void f(S s) { s.w = 1; }":    "no field",
+		"void f(int x) { x[0] = 1; }":                     "non-array",
+		"void f() { g(); }":                               "unknown function",
+		"int f() { return; }":                             "missing return value",
+		"void f() { fork (i; 2) { } }":                    "harness",
+		"void f() { return 1 == true; }":                  "cannot compare",
+		"struct S { int v; } void f() { S s = new S(); }": "expects 1 argument",
+	}
+	for src, frag := range cases {
+		mustFail(t, src, frag)
+	}
+}
+
+func TestNullComparableWithAnyRef(t *testing.T) {
+	mustCheck(t, `
+struct A { int v; }
+struct B { int v; }
+void f(A a, B b) {
+	assert a != null;
+	assert null == b || true;
+	a = null;
+}
+`)
+}
+
+func TestImplicitLockField(t *testing.T) {
+	info := mustCheck(t, `struct S { int v; } void f(S s) { assert s._lock == 0; }`)
+	si := info.Structs["S"]
+	if _, i := si.Field(LockField); i < 0 {
+		t.Fatal("implicit lock field missing")
+	}
+	// The lock field is not a constructor argument.
+	if len(si.CtorFields()) != 1 {
+		t.Fatalf("ctor fields: %v", si.CtorFields())
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	mustCheck(t, `
+struct N { N next = null; int taken = 0; }
+N head;
+int c;
+void f() {
+	N old = AtomicSwap(head, null);
+	int t = AtomicSwap(head.taken, 1);
+	bool ok = CAS(c, 0, 1);
+	int v = AtomicReadAndDecr(c);
+	v = AtomicReadAndIncr(c);
+	old = old;
+	t = t;
+	ok = ok;
+}
+`)
+	mustFail(t, "void f() { int x = AtomicSwap(1, 2); }", "assignable location")
+	mustFail(t, "int c; void f() { bool b = CAS(c, 0); }", "expects 3")
+	mustFail(t, "bool c; void f() { int v = AtomicReadAndDecr(c); }", "must be int")
+}
+
+func TestRegenChoiceFiltering(t *testing.T) {
+	// null.next is ill-typed and must be silently dropped (the paper's
+	// semantics for generators).
+	info := mustCheck(t, `
+struct N { N next = null; }
+N a;
+void f() {
+	N x = {| (a|null)(.next)? |};
+	x = x;
+}
+`)
+	var choices int
+	for _, fn := range info.Prog.Funcs {
+		ast.WalkExprs(fn.Body, func(e ast.Expr) {
+			if r, ok := e.(*ast.Regen); ok {
+				choices = len(r.Choices)
+			}
+		})
+	}
+	// a, a.next, null — but not null.next.
+	if choices != 3 {
+		t.Fatalf("choices = %d, want 3", choices)
+	}
+}
+
+func TestRegenNoValidChoice(t *testing.T) {
+	mustFail(t, `void f(int x) { bool b = {| y | z |}; }`, "generator")
+}
+
+func TestHoleContexts(t *testing.T) {
+	info := mustCheck(t, `
+void f(int x) {
+	int a = ??;
+	bool b = ??;
+	bit[4] v = ??;
+	a = a; b = b; v[0] = v[0];
+}
+`)
+	var kinds []Type
+	for _, fn := range info.Prog.Funcs {
+		ast.WalkExprs(fn.Body, func(e ast.Expr) {
+			if h, ok := e.(*ast.Hole); ok {
+				kinds = append(kinds, info.TypeOf(h))
+			}
+		})
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("holes: %d", len(kinds))
+	}
+	if !kinds[0].Equal(TInt) || !kinds[1].Equal(TBool) || !kinds[2].Equal(ArrayOf(TBool, 4)) {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	mustFail(t, "struct S { int v; } void f() { S s = ??; }", "pointer")
+}
+
+func TestArrayLiteralFill(t *testing.T) {
+	mustCheck(t, `void f() { int[8] xs = 0; bool[2] bs = false; xs[0] = 1; bs[0] = true; }`)
+	mustFail(t, `void f() { int[8] xs = 1 + 1; }`, "cannot initialize")
+}
+
+func TestScopes(t *testing.T) {
+	mustCheck(t, `void f() { if (true) { int x = 1; x = x; } if (true) { int x = 2; x = x; } }`)
+	mustFail(t, `void f() { { int x = 1; x = x; } x = 2; }`, "undefined variable")
+	mustFail(t, `void f() { int x = 1; int x = 2; }`, "redeclaration")
+}
+
+func TestExprString(t *testing.T) {
+	e, err := parser.ParseExprString("a.b[1 + c] == null && !d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ExprString(e)
+	if got != "a.b[1 + c] == null && !d" && !strings.Contains(got, "a.b") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestImplementsSignatureChecks(t *testing.T) {
+	mustFail(t, `
+int spec(int x) { return x; }
+bool f(int x) implements spec { return true; }
+`, "signature")
+	mustFail(t, `
+int spec(int x, int y) { return x; }
+int f(int x) implements spec { return x; }
+`, "signature")
+	mustFail(t, `
+int f(int x) implements nosuch { return x; }
+`, "unknown spec")
+}
+
+func TestStructChecks(t *testing.T) {
+	mustFail(t, `struct S { int v; } struct S { int w; }`, "duplicate struct")
+	mustFail(t, `struct S { int v; int v; }`, "duplicate field")
+	mustFail(t, `void f() { Unknown u = null; u = u; }`, "unknown type")
+	mustFail(t, `struct S { int v = true; }`, "default")
+}
+
+func TestMoreStatements(t *testing.T) {
+	mustCheck(t, `
+struct S { int v = 0; }
+S obj;
+harness void Main() {
+	obj = new S();
+	fork (i; 2) {
+		lock(obj);
+		atomic (obj.v == 0) { obj.v = 1; }
+		unlock(obj);
+	}
+	repeat (2) obj.v = obj.v + 1;
+	reorder { obj.v = 1; obj.v = 2; }
+}
+`)
+	mustFail(t, `harness void Main() { fork (i; 2) { fork (j; 2) { } } }`, "nested fork")
+	mustFail(t, `void f(int x) { lock(x); }`, "struct reference")
+	mustFail(t, `harness void Main() { repeat (true) { } fork (i; 1) { } }`, "int")
+	mustFail(t, `void f() { 3; }`, "must be a call")
+	mustFail(t, `void f() { while (3) { } }`, "bool")
+	mustFail(t, `void f() { atomic (3) { } }`, "bool")
+	mustFail(t, `void f() { assert 3; }`, "bool")
+	mustFail(t, `int f() { return true; }`, "return type")
+	mustFail(t, `void f() { return 3; }`, "")
+}
+
+func TestCallChecks(t *testing.T) {
+	mustFail(t, `
+void g(int x) { }
+void f() { g(); }
+`, "expects 1")
+	mustFail(t, `
+void g(bool x) { }
+void f() { g(3); }
+`, "argument 0")
+	mustFail(t, `
+harness void Main() { fork (i; 1) { } }
+void f() { Main(); }
+`, "harness")
+}
+
+func TestCastAndSliceChecks(t *testing.T) {
+	mustCheck(t, `void f(bit[4] b) { int x = (int) b[0::2]; x = (int) b[3]; }`)
+	mustFail(t, `void f(int x) { int y = (int) x; }`, "bit")
+	mustFail(t, `void f(bit[4] b) { bit[8] c = b[0::8]; }`, "slice")
+	mustFail(t, `void f(bit[4] b) { bool c = b[true]; }`, "index")
+}
+
+func TestLValueChecks(t *testing.T) {
+	mustFail(t, `void f(int x) { 3 = x; }`, "assignable")
+	mustFail(t, `void f(int x) { x + 1 = 2; }`, "assignable")
+	// Generator targets must have only l-value choices.
+	mustFail(t, `int a; void f(int x) { {| a | a + 1 |} = x; }`, "lvalue")
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"int":    TInt,
+		"bool":   TBool,
+		"void":   TVoid,
+		"int[4]": ArrayOf(TInt, 4),
+		"S":      RefTo("S"),
+		"null":   {Base: Ref},
+	}
+	for want, ty := range cases {
+		if ty.String() != want {
+			t.Errorf("%v prints %q, want %q", ty, ty.String(), want)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package psketch is a from-scratch reproduction of PSKETCH, the
+// concurrent program-sketching synthesizer of "Sketching Concurrent
+// Data Structures" (Solar-Lezama, Jones, Bodík; PLDI 2008).
+//
+// A sketch is a partial program: holes (??), regular-expression
+// expression generators ({| ... |}), and reorder blocks mark the parts
+// the programmer left open. Given a correctness harness — assertions
+// checked over all inputs and all thread interleavings, plus an
+// optional `implements` reference implementation — Synthesize completes
+// the sketch by counterexample-guided inductive synthesis: a CDCL SAT
+// solver proposes candidates, an explicit-state model checker verifies
+// them across every interleaving, and failing executions are projected
+// back onto the whole candidate space as inductive constraints.
+//
+// Quickstart:
+//
+//	res, err := psketch.Synthesize(src, "Harness", psketch.Options{})
+//	if err != nil { ... }
+//	if res.Resolved {
+//	    fmt.Println(res.Code) // the completed implementation
+//	}
+package psketch
+
+import (
+	"fmt"
+	"math/big"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/parser"
+	"psketch/internal/printer"
+	"psketch/internal/state"
+)
+
+// Encoding selects the reorder-block translation of §7.2.
+type Encoding = desugar.Encoding
+
+// The reorder encodings.
+const (
+	EncodeInsertion = desugar.EncodeInsertion
+	EncodeQuadratic = desugar.EncodeQuadratic
+)
+
+// Options configure the bounded machine and the synthesis loop.
+type Options struct {
+	// IntWidth is the bit width of int values (default 5).
+	IntWidth int
+	// HoleWidth is the default bit width of ?? holes (default 3).
+	HoleWidth int
+	// LoopBound unrolls while loops (default 4); candidates must
+	// terminate within it (liveness as bounded safety, §6).
+	LoopBound int
+	// MaxRepeat bounds repeat(??) replication (default 8).
+	MaxRepeat int
+	// Encoding picks the reorder encoding (default insertion).
+	Encoding Encoding
+	// MaxIterations bounds the CEGIS loop (default 256).
+	MaxIterations int
+	// MCMaxStates bounds the model checker (default 4,000,000).
+	MCMaxStates int
+	// TracesPerIteration asks the verifier for several counterexample
+	// traces per CEGIS iteration (default 1, the paper's behaviour).
+	// Larger values speed up deadlock-heavy spaces considerably.
+	TracesPerIteration int
+	// Verbose receives progress lines when non-nil.
+	Verbose func(format string, args ...any)
+}
+
+func (o Options) desugarOpts() desugar.Options {
+	return desugar.Options{
+		IntWidth:  o.IntWidth,
+		HoleWidth: o.HoleWidth,
+		LoopBound: o.LoopBound,
+		MaxRepeat: o.MaxRepeat,
+		Encoding:  o.Encoding,
+	}.Defaults()
+}
+
+// Stats reports the work done by a synthesis run (the Figure 9
+// columns).
+type Stats = core.Stats
+
+// Candidate is a concrete assignment to every hole of a sketch.
+type Candidate = desugar.Candidate
+
+// Sketch is a compiled synthesis problem.
+type Sketch struct {
+	sk   *desugar.Sketch
+	opts Options
+}
+
+// Compile parses, type-checks and desugars the sketch for the given
+// harness (or `implements` function).
+func Compile(src, target string, opts Options) (*Sketch, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := desugar.Desugar(prog, target, opts.desugarOpts())
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{sk: sk, opts: opts}, nil
+}
+
+// CandidateCount returns |C|, the number of syntactically distinct
+// candidates the sketch denotes (Table 1 counting rules).
+func (s *Sketch) CandidateCount() *big.Int { return new(big.Int).Set(s.sk.Count) }
+
+// Holes returns the number of synthesis unknowns after desugaring.
+func (s *Sketch) Holes() int { return len(s.sk.Holes) }
+
+// Result is a synthesis outcome.
+type Result struct {
+	// Resolved reports whether a correct completion exists. A false
+	// value is a definitive "NO" for the bounded machine: every
+	// candidate was refuted (as for the lazyset ar(ar|ar) benchmark).
+	Resolved bool
+	// Candidate is the found hole assignment.
+	Candidate Candidate
+	// Code is the resolved sketch, pretty-printed with all choices
+	// substituted and the chosen statement order restored.
+	Code string
+	// Stats reports iterations, per-phase times and memory.
+	Stats Stats
+}
+
+// Synthesize runs CEGIS on a compiled sketch.
+func (s *Sketch) Synthesize() (*Result, error) {
+	syn, err := core.New(s.sk, core.Options{
+		MaxIterations:      s.opts.MaxIterations,
+		MCMaxStates:        s.opts.MCMaxStates,
+		TracesPerIteration: s.opts.TracesPerIteration,
+		Verbose:            s.opts.Verbose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := syn.Synthesize()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Resolved: r.Resolved, Candidate: r.Candidate, Stats: r.Stats}
+	if r.Resolved {
+		code, err := printer.Program(s.sk, r.Candidate)
+		if err != nil {
+			return nil, err
+		}
+		out.Code = code
+	}
+	return out, nil
+}
+
+// ResolveFunc pretty-prints one function under a candidate.
+func (s *Sketch) ResolveFunc(cand Candidate, fn string) (string, error) {
+	return printer.Resolve(s.sk, cand, fn)
+}
+
+// Synthesize compiles and synthesizes in one call.
+func Synthesize(src, target string, opts Options) (*Result, error) {
+	sk, err := Compile(src, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sk.Synthesize()
+}
+
+// ModelCheck verifies one concrete candidate of the sketch over all
+// thread interleavings, returning nil when it is correct and a
+// counterexample description otherwise.
+func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err error) {
+	prog, err := ir.Lower(s.sk)
+	if err != nil {
+		return false, "", err
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		return false, "", err
+	}
+	res, err := mc.Check(layout, cand, mc.Options{MaxStates: s.opts.MCMaxStates})
+	if err != nil {
+		return false, "", err
+	}
+	if res.OK {
+		return true, "", nil
+	}
+	return false, res.Trace.Format(prog), nil
+}
+
+// Count parses the program and returns Table 1's |C| for the target.
+func Count(src, target string, opts Options) (*big.Int, error) {
+	sk, err := Compile(src, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sk.CandidateCount(), nil
+}
+
+// String renders a candidate compactly for logs.
+func CandidateString(c Candidate) string { return fmt.Sprint([]int64(c)) }
+
+// DetectTarget finds the synthesis entry point of a source file: the
+// unique harness function, or the unique function with an implements
+// clause.
+func DetectTarget(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var targets []string
+	for _, f := range prog.Funcs {
+		if f.Harness || f.Implements != "" {
+			targets = append(targets, f.Name)
+		}
+	}
+	switch len(targets) {
+	case 0:
+		return "", fmt.Errorf("psketch: no harness or implements function found")
+	case 1:
+		return targets[0], nil
+	}
+	return "", fmt.Errorf("psketch: multiple synthesis targets (%v); pick one with -target", targets)
+}
+
+// Enumerate returns up to max distinct correct completions of the
+// sketch (the §8.3.1 autotuning hook: synthesize many candidates, then
+// pick the best by measurement).
+func (s *Sketch) Enumerate(max int) ([]*Result, error) {
+	syn, err := core.New(s.sk, core.Options{
+		MaxIterations:      s.opts.MaxIterations,
+		MCMaxStates:        s.opts.MCMaxStates,
+		TracesPerIteration: s.opts.TracesPerIteration,
+		Verbose:            s.opts.Verbose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := syn.Enumerate(max)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, r := range rs {
+		res := &Result{Resolved: true, Candidate: r.Candidate, Stats: r.Stats}
+		code, err := printer.Program(s.sk, r.Candidate)
+		if err != nil {
+			return nil, err
+		}
+		res.Code = code
+		out = append(out, res)
+	}
+	return out, nil
+}

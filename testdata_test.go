@@ -1,0 +1,46 @@
+package psketch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The documented file workflow: every testdata sketch autodetects its
+// target and synthesizes (this is what cmd/psketch does).
+func TestTestdataSketches(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.psk")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata sketches: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			srcb, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcb)
+			tgt, err := DetectTarget(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{}
+			if strings.Contains(f, "queue") {
+				opts.IntWidth = 6
+				opts.LoopBound = 5
+			}
+			res, err := Synthesize(src, tgt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Resolved {
+				t.Fatalf("%s did not resolve", f)
+			}
+			if res.Code == "" {
+				t.Fatal("no code printed")
+			}
+		})
+	}
+}
