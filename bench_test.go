@@ -8,7 +8,14 @@
 //   - BenchmarkAblationReorder* — the §7.2 quadratic vs insertion
 //     reorder encodings on the Figure 1 queue sketch;
 //   - BenchmarkMC_QueueE1 — one full verifier pass (all interleavings);
-//   - BenchmarkProjection_QueueE2 — one trace projection + encoding.
+//   - BenchmarkProjection_QueueE2 — one trace projection + encoding;
+//   - BenchmarkMC_CexLateShard/j* — parallel verifier counterexample
+//     search where the failing schedule hides behind large benign
+//     first-event subtrees (the -j N win; see EXPERIMENTS.md);
+//   - BenchmarkMC_Exhaustive_QueueE1/j* — sharded exhaustive
+//     verification vs the sequential DFS;
+//   - BenchmarkSynthPortfolio_QueueE2/j* — full CEGIS with the SAT
+//     portfolio and parallel verifier on vs off.
 //
 // Absolute times are not expected to match the paper's 2008 testbed;
 // the shape (who resolves, iteration counts, relative cost of the
@@ -18,6 +25,7 @@
 package psketch
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -253,3 +261,140 @@ func benchPOR(b *testing.B, disable bool) {
 
 func BenchmarkAblationPOROn(b *testing.B)  { benchPOR(b, false) }
 func BenchmarkAblationPOROff(b *testing.B) { benchPOR(b, true) }
+
+// lateShardSrc is a program whose only failing schedules start with
+// thread 2 (it reads flag before thread 0's first step sets it), while
+// threads 0 and 1 generate large, benign, value-dependent state spaces.
+// The sequential DFS must exhaust tens of thousands of benign states
+// before it reaches a failing schedule; the sharded search hands thread
+// 2's subtree to its own worker, which finds the counterexample almost
+// immediately and cancels the rest.
+const lateShardSrc = `
+int flag = 0;
+int a = 0;
+int b = 1;
+harness void Main() {
+	fork (i; 3) {
+		if (i == 0) {
+			flag = 1;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+			a = a + b; a = a + b; a = a + b; a = a + b;
+		}
+		if (i == 1) {
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+			b = b + b; b = b + 1; b = b + b; b = b + 1;
+		}
+		if (i == 2) {
+			int x = flag;
+			assert x == 1;
+		}
+	}
+}
+`
+
+func lateShardLayout(b *testing.B) *state.Layout {
+	b.Helper()
+	prog, err := parser.Parse(lateShardSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "Main", desugar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return layout
+}
+
+// BenchmarkMC_CexLateShard measures the counterexample search of the
+// parallel verifier against the sequential DFS when the failing
+// schedule lives in a late first-event shard (the headline -j N case;
+// measured numbers are recorded in EXPERIMENTS.md).
+func BenchmarkMC_CexLateShard(b *testing.B) {
+	layout := lateShardLayout(b)
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := mc.Check(layout, desugar.Candidate{}, mc.Options{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OK {
+					b.Fatal("expected a counterexample")
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkMC_Exhaustive_QueueE1 measures a full (no-counterexample)
+// verification pass sequentially and sharded: with nothing to cancel,
+// this exposes the sharding overhead rather than a win, which is the
+// honest baseline for -j N on verified candidates.
+func BenchmarkMC_Exhaustive_QueueE1(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE1(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := mc.Check(layout, desugar.Candidate{0, 0}, mc.Options{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK {
+					b.Fatal("expected OK")
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkSynthPortfolio_QueueE2 runs the full CEGIS loop on the
+// Figure 1 queue sketch with the parallel pipeline off (-j 1, the
+// deterministic paper configuration) and on (-j 4: SAT portfolio +
+// sharded verifier).
+func BenchmarkSynthPortfolio_QueueE2(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE2(), "ed(ed|ed)")
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				syn, err := core.New(sk, core.Options{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := syn.Synthesize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Resolved {
+					b.Fatal("did not resolve")
+				}
+				b.ReportMetric(float64(res.Stats.Iterations), "iters")
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"psketch/internal/bench"
@@ -28,12 +29,13 @@ func main() {
 		traces  = flag.Int("traces", 1, "counterexample traces per CEGIS iteration (multi-trace learning)")
 		timeout = flag.Duration("timeout", 30*time.Minute, "per-test synthesis timeout")
 		verbose = flag.Bool("v", false, "per-iteration progress")
+		par     = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (use 1 for deterministic paper-comparable runs)")
 	)
 	flag.Parse()
 	if !*table1 && !*fig9 && !*fig10 {
 		*table1, *fig9, *fig10 = true, true, true
 	}
-	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces}
+	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces, Parallelism: *par}
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"psketch"
 )
@@ -30,6 +31,7 @@ func main() {
 		showCount = flag.Bool("count", false, "print |C| and exit")
 		all       = flag.Int("all", 0, "enumerate up to N distinct solutions (0 = first only)")
 		traces    = flag.Int("traces", 1, "counterexample traces per CEGIS iteration")
+		par       = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (1 = deterministic)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,6 +50,7 @@ func main() {
 		MaxRepeat:          *maxRepeat,
 		MCMaxStates:        *maxStates,
 		TracesPerIteration: *traces,
+		Parallelism:        *par,
 	}
 	if *quadratic {
 		opts.Encoding = psketch.EncodeQuadratic

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,6 +26,7 @@ func main() {
 		intWidth  = flag.Int("intwidth", 5, "bit width of int values")
 		loopBound = flag.Int("loopbound", 4, "while-loop unroll bound")
 		maxStates = flag.Int("maxstates", 0, "state budget (0 = default)")
+		par       = flag.Int("j", runtime.GOMAXPROCS(0), "search parallelism (1 = deterministic DFS)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,6 +48,7 @@ func main() {
 	}
 	sk, err := psketch.Compile(string(src), tgt, psketch.Options{
 		IntWidth: *intWidth, LoopBound: *loopBound, MCMaxStates: *maxStates,
+		Parallelism: *par,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -12,6 +12,7 @@ import (
 	"psketch/internal/core"
 	"psketch/internal/desugar"
 	"psketch/internal/parser"
+	"psketch/internal/sat"
 	"psketch/internal/sketches"
 )
 
@@ -30,6 +31,11 @@ type Row struct {
 	MCStates    int
 	LogC        float64
 	Err         error
+	// Per-worker columns (empty at parallelism 1): portfolio wins and
+	// conflicts per SAT worker, states expanded per verifier worker.
+	Parallelism    int
+	SATWorkers     []sat.WorkerStats
+	MCWorkerStates []int
 }
 
 // Options configure a benchmark sweep.
@@ -49,6 +55,10 @@ type Options struct {
 	// TracesPerIteration forwards the multi-trace learning extension
 	// (default 1 = the paper's single-counterexample loop).
 	TracesPerIteration int
+	// Parallelism sizes the SAT portfolio and verifier worker pool
+	// (0 = core's default, GOMAXPROCS; 1 = the deterministic engine
+	// whose numbers the paper comparison is calibrated against).
+	Parallelism int
 }
 
 // logBig computes log10 of a big integer.
@@ -90,6 +100,7 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		MCMaxStates:        maxStates,
 		Verbose:            opts.Verbose,
 		TracesPerIteration: opts.TracesPerIteration,
+		Parallelism:        opts.Parallelism,
 	})
 	if err != nil {
 		row.Err = err
@@ -130,6 +141,9 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	row.VModel = res.Stats.VModel
 	row.MemMiB = float64(res.Stats.MaxHeap) / (1 << 20)
 	row.MCStates = res.Stats.MCStates
+	row.Parallelism = res.Stats.Parallelism
+	row.SATWorkers = res.Stats.SATWorkers
+	row.MCWorkerStates = res.Stats.MCWorkerStates
 	return row
 }
 
@@ -167,9 +181,35 @@ func RunFig9(w io.Writer, opts Options) []Row {
 				short(row.Total), short(row.SSolve), short(row.SModel),
 				short(row.VSolve), short(row.VModel), row.MemMiB,
 				pres, pit, ptot)
+			if row.Parallelism > 1 {
+				fmt.Fprint(w, workerLine(row))
+			}
 		}
 	}
 	return rows
+}
+
+// workerLine renders the per-worker columns of a parallel run: which
+// portfolio workers won the solve races (and their conflict totals),
+// and how the verifier states spread over the MC workers.
+func workerLine(row Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-14s |   j=%d sat[", "", "", row.Parallelism)
+	for i, ws := range row.SATWorkers {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "w%d:%dwin/%dcf", i, ws.Wins, ws.Conflicts)
+	}
+	b.WriteString("] mc[")
+	for i, n := range row.MCWorkerStates {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "w%d:%dst", i, n)
+	}
+	b.WriteString("]\n")
+	return b.String()
 }
 
 // Table1 prints the candidate-space table next to the paper's.

@@ -194,9 +194,11 @@ func (m *VarMap) set(n int32, v int) {
 	m.vars[n] = v + 1
 }
 
-// ToSAT Tseitin-encodes the cone of l into the solver, reusing
-// previously encoded nodes, and returns the SAT literal for l.
-func (b *Builder) ToSAT(s *sat.Solver, m *VarMap, l Lit) sat.Lit {
+// ToSAT Tseitin-encodes the cone of l into the solver (a plain Solver
+// or a Portfolio — anything that can allocate variables and take
+// clauses), reusing previously encoded nodes, and returns the SAT
+// literal for l.
+func (b *Builder) ToSAT(s sat.Adder, m *VarMap, l Lit) sat.Lit {
 	var rec func(n int32) int
 	rec = func(n int32) int {
 		if v, ok := m.get(n); ok {
@@ -229,7 +231,7 @@ func (b *Builder) ToSAT(s *sat.Solver, m *VarMap, l Lit) sat.Lit {
 
 // SATVar returns the SAT variable assigned to an input literal,
 // allocating it if needed (used to read hole values out of a model).
-func (b *Builder) SATVar(s *sat.Solver, m *VarMap, in Lit) int {
+func (b *Builder) SATVar(s sat.Adder, m *VarMap, in Lit) int {
 	if in.neg() {
 		panic("circuit: SATVar on negated literal")
 	}

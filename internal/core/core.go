@@ -3,6 +3,25 @@
 // sequential engine (§5) learns from counterexample inputs; the
 // concurrent engine (§6) learns from counterexample traces projected
 // onto the candidate space.
+//
+// # Concurrency contract
+//
+// A Synthesizer is driven from a single goroutine — its methods are not
+// goroutine-safe — but with Options.Parallelism > 1 (the default is
+// runtime.GOMAXPROCS(0)) both CEGIS phases fan out internally: the
+// synthesize phase races a portfolio of diversified incremental SAT
+// solvers (internal/sat.Portfolio), and the verify phase shards the
+// model checker's interleaving DFS across workers (internal/mc). All
+// worker goroutines are joined before each phase returns, so the loop
+// itself stays sequential and the phases never overlap.
+//
+// Determinism: Parallelism == 1 reproduces the single-threaded engine
+// bit-for-bit — same candidates in the same order, same iteration
+// counts, same counterexamples. Parallelism > 1 keeps verdicts and
+// soundness (a resolved candidate is still verified over every
+// interleaving; UNSAT is still a definitive NO) but may visit different
+// intermediate candidates run to run, because portfolio models and the
+// first-found counterexample are race-dependent.
 package core
 
 import (
@@ -31,6 +50,10 @@ type Options struct {
 	// traces per CEGIS iteration (default 1, the paper's behaviour);
 	// each is projected into its own inductive constraint.
 	TracesPerIteration int
+	// Parallelism sizes both the SAT portfolio and the model checker's
+	// worker pool (default runtime.GOMAXPROCS(0)). 1 runs the fully
+	// deterministic sequential engine.
+	Parallelism int
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
 	// WatchCandidate, when non-nil, is checked against every learned
@@ -42,6 +65,15 @@ type Options struct {
 func (o Options) defaults() Options {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 256
+	}
+	if o.MCMaxStates == 0 {
+		o.MCMaxStates = 4_000_000
+	}
+	if o.TracesPerIteration == 0 {
+		o.TracesPerIteration = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if o.Verbose == nil {
 		o.Verbose = func(string, ...any) {}
@@ -63,6 +95,15 @@ type Stats struct {
 	SATConfl   int64
 	MCStates   int
 	MaxHeap    uint64 // peak observed heap, bytes
+	// Parallelism is the worker count both phases ran at; the
+	// per-worker columns below are empty at Parallelism 1.
+	Parallelism int
+	// SATWorkers holds the synthesis portfolio's per-worker totals
+	// (wins, conflicts, decisions) across all iterations.
+	SATWorkers []sat.WorkerStats
+	// MCWorkerStates accumulates the states each verifier worker
+	// expanded across all iterations.
+	MCWorkerStates []int
 }
 
 // Result is the synthesis outcome.
@@ -84,11 +125,32 @@ type Synthesizer struct {
 
 	b        *circuit.Builder
 	holes    []circuit.Word
-	solver   *sat.Solver
+	solver   satSolver
 	vmap     *circuit.VarMap
 	holeVars [][]int
 
 	stats Stats
+}
+
+// satSolver is the incremental-solving interface the CEGIS loop needs;
+// both the plain sat.Solver and the racing sat.Portfolio satisfy it.
+type satSolver interface {
+	sat.Adder
+	Solve(assumptions ...sat.Lit) bool
+	Value(v int) bool
+	NumVars() int
+	NumClauses() int
+	Conflicts() int64
+}
+
+// newSolver picks the solving backend: a portfolio of diversified
+// workers when parallelism allows, else the deterministic single
+// solver.
+func newSolver(parallelism int) satSolver {
+	if parallelism > 1 {
+		return sat.NewPortfolio(parallelism)
+	}
+	return sat.New()
 }
 
 // New prepares a synthesizer: lowering, layout, hole inputs, and the
@@ -112,7 +174,7 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	t0 = time.Now()
 	s.b = circuit.NewBuilder()
 	s.holes = sym.HoleInputs(s.b, sk)
-	s.solver = sat.New()
+	s.solver = newSolver(opts.Parallelism)
 	s.vmap = circuit.NewVarMap()
 	s.holeVars = make([][]int, len(sk.Holes))
 	for i, w := range s.holes {
@@ -212,7 +274,11 @@ func (s *Synthesizer) Synthesize() (*Result, error) {
 	}
 	s.stats.SATVars = s.solver.NumVars()
 	s.stats.SATClauses = s.solver.NumClauses()
-	s.stats.SATConfl = s.solver.Stats.Conflicts
+	s.stats.SATConfl = s.solver.Conflicts()
+	s.stats.Parallelism = s.opts.Parallelism
+	if p, ok := s.solver.(*sat.Portfolio); ok {
+		s.stats.SATWorkers = p.WorkerStats()
+	}
 	s.stats.Total = time.Since(start)
 	res.Stats = s.stats
 	return res, nil
@@ -234,14 +300,21 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 
 		t0 := time.Now()
 		mres, err := mc.Check(s.Layout, cand, mc.Options{
-			MaxStates: s.opts.MCMaxStates,
-			MaxTraces: s.opts.TracesPerIteration,
+			MaxStates:   s.opts.MCMaxStates,
+			MaxTraces:   s.opts.TracesPerIteration,
+			Parallelism: s.opts.Parallelism,
 		})
 		s.stats.VSolve += time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
 		s.stats.MCStates += mres.States
+		for len(s.stats.MCWorkerStates) < len(mres.WorkerStates) {
+			s.stats.MCWorkerStates = append(s.stats.MCWorkerStates, 0)
+		}
+		for i, n := range mres.WorkerStates {
+			s.stats.MCWorkerStates[i] += n
+		}
 		s.sampleHeap()
 		if mres.OK {
 			s.opts.Verbose("iteration %d: candidate verified (%d states)", iter, mres.States)
@@ -440,7 +513,7 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	if err != nil {
 		return nil, err
 	}
-	vs := sat.New()
+	vs := newSolver(s.opts.Parallelism)
 	vm := circuit.NewVarMap()
 	goal := vb.ToSAT(vs, vm, violation)
 	vs.AddClause(goal)

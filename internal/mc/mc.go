@@ -12,6 +12,25 @@
 //     scheduled step (they commute with every other thread's steps).
 //
 // Visited states are hashed so each global state is expanded once.
+//
+// # Concurrency contract
+//
+// Check is safe to call from multiple goroutines on the same Layout
+// and candidate: the layout and lowered program are read-only, and all
+// mutable search state lives in per-call structures.
+//
+// With Options.Parallelism > 1 the search itself is parallel: the DFS
+// is sharded at the root by first-event choice, each shard explored by
+// a worker goroutine against a lock-striped shared visited set, and a
+// shared cancellation flag stops every worker as soon as the trace
+// budget is met (so counterexamples surface as soon as any shard finds
+// one). Parallel search is sound and complete over the same
+// interleaving space, but nondeterministic in which counterexample it
+// reports first and in the exact States count (shards race to claim
+// states). Parallelism <= 1 runs the original sequential DFS and is
+// fully deterministic — bit-for-bit the pre-parallel behaviour.
+// Options.Hook forces the sequential path (the hook would otherwise
+// observe interleaved shards).
 package mc
 
 import (
@@ -80,6 +99,9 @@ type Options struct {
 	// traces (default 1, the paper's behaviour). More traces per
 	// verifier call means more observations per CEGIS iteration.
 	MaxTraces int
+	// Parallelism shards the search across this many worker goroutines
+	// (<= 1, or a set Hook, runs the deterministic sequential DFS).
+	Parallelism int
 }
 
 // Result is the verifier's verdict.
@@ -89,6 +111,10 @@ type Result struct {
 	Traces []*Trace // all collected counterexamples (≥1 when !OK)
 	States int      // distinct states expanded
 	Trans  int      // transitions executed
+	// Workers is the number of parallel search workers used (0 for the
+	// sequential DFS); WorkerStates counts the states each expanded.
+	Workers      int
+	WorkerStates []int
 }
 
 // Check explores all interleavings of the candidate.
@@ -112,6 +138,10 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 			tr := &Trace{Failure: fail, Phase: PhasePrologue, FailThread: -1}
 			return &Result{OK: false, Trace: tr, Traces: []*Trace{tr}}, nil
 		}
+	}
+
+	if opts.Parallelism > 1 && opts.Hook == nil {
+		return m.checkParallel(st)
 	}
 
 	var path []Event

@@ -1,0 +1,278 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"psketch/internal/interp"
+	"psketch/internal/state"
+)
+
+// stripedSet is the shared visited-state set of the parallel search: 64
+// independently locked map shards, indexed by the low bits of the state
+// fingerprint, so workers contend only when they hash into the same
+// stripe.
+type stripedSet struct {
+	stripes [64]struct {
+		mu sync.Mutex
+		m  map[[16]byte]bool
+	}
+}
+
+func newStripedSet() *stripedSet {
+	s := &stripedSet{}
+	for i := range s.stripes {
+		s.stripes[i].m = map[[16]byte]bool{}
+	}
+	return s
+}
+
+// visit marks the key visited, reporting whether this call claimed it
+// first (exactly one worker expands each state).
+func (s *stripedSet) visit(k [16]byte) bool {
+	st := &s.stripes[k[0]&63]
+	st.mu.Lock()
+	claimed := !st.m[k]
+	if claimed {
+		st.m[k] = true
+	}
+	st.mu.Unlock()
+	return claimed
+}
+
+// pshared is the state the parallel search workers share: the visited
+// set, the global state/transition counters, the collected traces, and
+// the cancellation flag that stops every shard once the trace budget is
+// met (or an error occurred).
+type pshared struct {
+	visited   *stripedSet
+	states    atomic.Int64
+	trans     atomic.Int64
+	maxStates int
+	maxTraces int
+	cancel    atomic.Bool
+
+	mu     sync.Mutex
+	traces []*Trace
+	err    error
+}
+
+// record stores a counterexample (up to the trace budget) and cancels
+// the search when the budget is met.
+func (sh *pshared) record(tr *Trace) {
+	sh.mu.Lock()
+	if len(sh.traces) < sh.maxTraces {
+		sh.traces = append(sh.traces, tr)
+	}
+	full := len(sh.traces) >= sh.maxTraces
+	sh.mu.Unlock()
+	if full {
+		sh.cancel.Store(true)
+	}
+}
+
+// fail records the first error and cancels all workers.
+func (sh *pshared) fail(err error) {
+	sh.mu.Lock()
+	if sh.err == nil {
+		sh.err = err
+	}
+	sh.mu.Unlock()
+	sh.cancel.Store(true)
+}
+
+// pworker is one parallel search worker: the sequential checker's
+// normalization/status/trace helpers (via embedding) plus dfs/expand
+// variants that go through the shared visited set and counters.
+type pworker struct {
+	checker
+	sh       *pshared
+	expanded int64 // states this worker claimed
+}
+
+func (w *pworker) dfs(st *state.State, path *[]Event) error {
+	if w.sh.cancel.Load() {
+		return nil
+	}
+	if t, f := w.normalize(st, path); f != nil {
+		w.sh.record(w.failTrace(*path, f, t))
+		return nil
+	}
+	return w.expand(st, path)
+}
+
+func (w *pworker) expand(st *state.State, path *[]Event) error {
+	if !w.sh.visited.visit(st.Key()) {
+		return nil
+	}
+	w.expanded++
+	// The DFS is CPU-bound; when workers outnumber cores, a shard that
+	// would find a counterexample quickly can starve behind a large
+	// benign shard for a full preemption quantum (~10ms). Yielding
+	// every so often bounds that latency and, with it, how long a
+	// cancelled search keeps burning cycles.
+	if w.expanded&255 == 0 {
+		runtime.Gosched()
+	}
+	if w.sh.states.Add(1) > int64(w.sh.maxStates) {
+		return fmt.Errorf("mc: state space exceeds %d states", w.sh.maxStates)
+	}
+
+	unfinished, enabled, blocked, tr := w.status(st)
+	if tr != nil {
+		tr.Events = append(tr.Events, *path...)
+		w.sh.record(tr)
+		return nil
+	}
+	if unfinished == 0 {
+		scratch := st.Clone()
+		if f := w.runSequential(scratch, w.p.Epilogue); f != nil {
+			w.sh.record(w.failTraceEpilogue(*path, f))
+		}
+		return nil
+	}
+	if len(enabled) == 0 {
+		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: w.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
+		tr := w.failTrace(*path, f, -1)
+		tr.Deadlocked = blocked
+		w.sh.record(tr)
+		return nil
+	}
+
+	for _, t := range enabled {
+		if w.sh.cancel.Load() {
+			return nil
+		}
+		child := st.Clone()
+		seq := w.p.Threads[t]
+		pc := int(child.PCs[t])
+		step := seq.Steps[pc]
+		ctx := interp.NewCtx(w.l, child, seq, w.cand)
+		w.sh.trans.Add(1)
+		*path = append(*path, Event{Thread: t, Step: pc})
+		if f := ctx.ExecBody(step); f != nil {
+			w.sh.record(w.failTrace(*path, f, t))
+			*path = (*path)[:len(*path)-1]
+			continue
+		}
+		child.PCs[t] = int32(pc + 1)
+		mark := len(*path)
+		if err := w.dfs(child, path); err != nil {
+			return err
+		}
+		*path = (*path)[:mark-1]
+	}
+	return nil
+}
+
+// checkParallel runs the sharded search: the root state is normalized
+// and expanded on the caller's goroutine, then each enabled first event
+// becomes a shard, and Parallelism workers drain the shard queue
+// against the shared visited set.
+func (m *checker) checkParallel(st *state.State) (*Result, error) {
+	sh := &pshared{visited: newStripedSet(), maxStates: m.opts.MaxStates, maxTraces: m.opts.MaxTraces}
+	finish := func(workers int, perWorker []int) *Result {
+		res := &Result{
+			OK:     len(sh.traces) == 0,
+			Traces: sh.traces,
+			States: int(sh.states.Load()),
+			Trans:  int(sh.trans.Load()),
+
+			Workers:      workers,
+			WorkerStates: perWorker,
+		}
+		if !res.OK {
+			res.Trace = sh.traces[0]
+		}
+		return res
+	}
+
+	// Root handling mirrors the sequential dfs+expand exactly.
+	var prefix []Event
+	if t, f := m.normalize(st, &prefix); f != nil {
+		sh.record(m.failTrace(prefix, f, t))
+		return finish(0, nil), nil
+	}
+	sh.visited.visit(st.Key())
+	sh.states.Add(1)
+	unfinished, enabled, blocked, tr := m.status(st)
+	switch {
+	case tr != nil:
+		tr.Events = append(tr.Events, prefix...)
+		sh.record(tr)
+		return finish(0, nil), nil
+	case unfinished == 0:
+		scratch := st.Clone()
+		if f := m.runSequential(scratch, m.p.Epilogue); f != nil {
+			sh.record(m.failTraceEpilogue(prefix, f))
+		}
+		return finish(0, nil), nil
+	case len(enabled) == 0:
+		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: m.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
+		dtr := m.failTrace(prefix, f, -1)
+		dtr.Deadlocked = blocked
+		sh.record(dtr)
+		return finish(0, nil), nil
+	}
+
+	// One shard per enabled first event.
+	type shard struct {
+		st   *state.State
+		path []Event
+	}
+	var shards []shard
+	for _, t := range enabled {
+		child := st.Clone()
+		seq := m.p.Threads[t]
+		pc := int(child.PCs[t])
+		step := seq.Steps[pc]
+		ctx := interp.NewCtx(m.l, child, seq, m.cand)
+		sh.trans.Add(1)
+		spath := append(append([]Event(nil), prefix...), Event{Thread: t, Step: pc})
+		if f := ctx.ExecBody(step); f != nil {
+			sh.record(m.failTrace(spath, f, t))
+			continue
+		}
+		child.PCs[t] = int32(pc + 1)
+		shards = append(shards, shard{child, spath})
+	}
+
+	workers := m.opts.Parallelism
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	perWorker := make([]int, workers)
+	if workers > 0 && !sh.cancel.Load() {
+		queue := make(chan shard, len(shards))
+		for _, s := range shards {
+			queue <- s
+		}
+		close(queue)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts}, sh: sh}
+				for s := range queue {
+					if sh.cancel.Load() {
+						break
+					}
+					path := s.path
+					if err := w.dfs(s.st, &path); err != nil {
+						sh.fail(err)
+						break
+					}
+				}
+				perWorker[id] = int(w.expanded)
+			}(i)
+		}
+		wg.Wait()
+	}
+	if sh.err != nil {
+		return nil, sh.err
+	}
+	return finish(workers, perWorker), nil
+}

@@ -1,0 +1,150 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerStats summarizes one portfolio worker's lifetime work.
+type WorkerStats struct {
+	Wins         int64 // races this worker answered first
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+}
+
+// Portfolio races N diversified CDCL solvers on the same formula.
+// NewVar and AddClause broadcast to every worker, so variable indices
+// and the clause set stay aligned; each worker keeps its own learnt
+// clauses, activities and saved phases across Solve calls, which is
+// what makes the portfolio incremental across CEGIS iterations.
+//
+// Solve runs every worker in its own goroutine under a shared
+// cancellation token; the first worker to reach a verdict wins, the
+// rest are canceled and joined before Solve returns. Both verdicts are
+// sound for every worker (the workers solve the same clause set; level-0
+// units learned by one worker are implied for all), so whichever
+// finishes first may answer. With one worker no goroutines are spawned
+// and the behaviour is bit-for-bit the plain Solver's.
+type Portfolio struct {
+	ws     []*Solver
+	winner int
+	wins   []int64
+}
+
+// NewPortfolio returns a portfolio of n diversified workers (n < 1 is
+// treated as 1). Worker 0 always runs the default configuration.
+func NewPortfolio(n int) *Portfolio {
+	if n < 1 {
+		n = 1
+	}
+	p := &Portfolio{ws: make([]*Solver, n), wins: make([]int64, n), winner: -1}
+	for i := range p.ws {
+		p.ws[i] = NewWith(DiverseConfig(i))
+	}
+	return p
+}
+
+// NumWorkers returns the portfolio size.
+func (p *Portfolio) NumWorkers() int { return len(p.ws) }
+
+// NumVars returns the number of allocated variables.
+func (p *Portfolio) NumVars() int { return p.ws[0].NumVars() }
+
+// NumClauses returns the number of problem clauses.
+func (p *Portfolio) NumClauses() int { return p.ws[0].NumClauses() }
+
+// NewVar allocates the same fresh variable in every worker.
+func (p *Portfolio) NewVar() int {
+	v := p.ws[0].NewVar()
+	for _, w := range p.ws[1:] {
+		w.NewVar()
+	}
+	return v
+}
+
+// AddClause broadcasts a problem clause. It returns false as soon as
+// any worker can show the formula unsatisfiable (workers may diverge
+// on when they notice, having learned different level-0 units).
+func (p *Portfolio) AddClause(lits ...Lit) bool {
+	ok := true
+	for _, w := range p.ws {
+		if !w.AddClause(lits...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Solve races the workers under the given assumptions. The winning
+// worker's model is the one Value reads afterwards.
+func (p *Portfolio) Solve(assumptions ...Lit) bool {
+	if len(p.ws) == 1 {
+		p.winner = 0
+		p.wins[0]++
+		return p.ws[0].Solve(assumptions...)
+	}
+	var cancel atomic.Bool
+	type answer struct {
+		worker int
+		sat    bool
+	}
+	ch := make(chan answer, len(p.ws))
+	var wg sync.WaitGroup
+	for i, w := range p.ws {
+		wg.Add(1)
+		go func(i int, w *Solver) {
+			defer wg.Done()
+			ok, canceled := w.SolveCancel(&cancel, assumptions...)
+			if !canceled {
+				ch <- answer{i, ok}
+				cancel.Store(true)
+			}
+		}(i, w)
+	}
+	// Join every worker before returning so the caller may immediately
+	// AddClause or re-Solve: the portfolio is quiescent between calls.
+	wg.Wait()
+	close(ch)
+	// At least one answer exists: the token is only set after a send,
+	// so the first finisher is never canceled. The first answer sent is
+	// the race winner.
+	a := <-ch
+	p.winner = a.worker
+	p.wins[a.worker]++
+	return a.sat
+}
+
+// Value returns the winning worker's model value for a variable.
+func (p *Portfolio) Value(v int) bool {
+	if p.winner < 0 {
+		return false
+	}
+	return p.ws[p.winner].Value(v)
+}
+
+// Conflicts returns the conflicts summed over all workers.
+func (p *Portfolio) Conflicts() int64 {
+	var n int64
+	for _, w := range p.ws {
+		n += w.Stats.Conflicts
+	}
+	return n
+}
+
+// WorkerStats returns per-worker lifetime statistics (the per-worker
+// columns of the Figure 9 regeneration).
+func (p *Portfolio) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(p.ws))
+	for i, w := range p.ws {
+		out[i] = WorkerStats{
+			Wins:         p.wins[i],
+			Conflicts:    w.Stats.Conflicts,
+			Decisions:    w.Stats.Decisions,
+			Propagations: w.Stats.Propagations,
+			Restarts:     w.Stats.Restarts,
+		}
+	}
+	return out
+}

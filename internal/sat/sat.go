@@ -8,9 +8,89 @@
 // The interface is incremental: clauses may be added between Solve
 // calls, and Solve accepts assumptions, which is how the CEGIS loop
 // grows the observation set one counterexample at a time.
+//
+// # Concurrency contract
+//
+// A Solver is NOT goroutine-safe: all methods must be called from one
+// goroutine at a time. The only cross-goroutine interaction is the
+// cancellation token passed to SolveCancel — another goroutine may set
+// it to make an in-flight solve return early (soundly: a canceled
+// solve reports neither SAT nor UNSAT, and the solver remains usable
+// for further AddClause/Solve calls).
+//
+// Portfolio races N diversified Solver instances (varied polarity
+// defaults, VSIDS decay, Luby restart unit, and random-seeded branching
+// tie-breaks) over the same clause set; the first definitive answer
+// wins and cancels the rest. Each worker keeps its own learnt-clause
+// database across calls, so portfolio state is incremental per worker
+// across CEGIS iterations. A 1-worker Portfolio is bit-for-bit the
+// plain Solver. Portfolio itself follows the same external contract as
+// Solver: one caller goroutine; the internal worker goroutines exist
+// only inside Solve and have all joined by the time it returns.
 package sat
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Adder is the clause-construction half of the solver interface, the
+// part the Tseitin encoder needs. Both Solver and Portfolio implement
+// it (a Portfolio broadcasts to every worker, keeping variable indices
+// aligned across them).
+type Adder interface {
+	NewVar() int
+	AddClause(lits ...Lit) bool
+}
+
+// Config diversifies a solver instance for portfolio solving. The zero
+// value is not meaningful; start from DefaultConfig.
+type Config struct {
+	// DefaultPolarity is the initial saved phase of fresh variables:
+	// true branches the variable to false first (the MiniSat default).
+	DefaultPolarity bool
+	// VarDecay is the VSIDS variable-activity decay divisor (0 < d < 1;
+	// smaller decays faster).
+	VarDecay float64
+	// ClaDecay is the clause-activity decay divisor.
+	ClaDecay float64
+	// LubyUnit is the number of conflicts per Luby restart unit.
+	LubyUnit int
+	// Seed seeds the xorshift generator for random branching
+	// tie-breaks; 0 disables randomness entirely.
+	Seed uint64
+	// RandFreq is the fraction of branching decisions taken on a
+	// uniformly random unassigned variable instead of the VSIDS pick.
+	RandFreq float64
+}
+
+// DefaultConfig returns the configuration of New — the behaviour every
+// sequential (-j 1) run reproduces.
+func DefaultConfig() Config {
+	return Config{DefaultPolarity: true, VarDecay: 0.95, ClaDecay: 0.999, LubyUnit: 100}
+}
+
+// DiverseConfig returns the configuration of portfolio worker i.
+// Worker 0 is always DefaultConfig, so the portfolio's first worker
+// explores exactly the sequential solver's search tree.
+func DiverseConfig(i int) Config {
+	cfg := DefaultConfig()
+	if i == 0 {
+		return cfg
+	}
+	cfg.DefaultPolarity = i%2 == 0
+	decays := []float64{0.91, 0.97, 0.93, 0.99, 0.85, 0.95}
+	cfg.VarDecay = decays[(i-1)%len(decays)]
+	units := []int{50, 200, 100, 400, 150, 75}
+	cfg.LubyUnit = units[(i-1)%len(units)]
+	// splitmix64 of the worker index: distinct, deterministic seeds.
+	z := uint64(i) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	cfg.Seed = z ^ (z >> 31)
+	cfg.RandFreq = 0.02
+	return cfg
+}
 
 // Lit is a literal: variable v (0-based) encodes as 2v (positive) or
 // 2v+1 (negated).
@@ -87,6 +167,10 @@ type Solver struct {
 	ok      bool
 	scratch []Lit
 
+	cfg      Config
+	rngState uint64
+	cancel   *atomic.Bool // read-only here; set by SolveCancel's caller
+
 	// Stats counts solver work for the Figure 9 columns.
 	Stats struct {
 		Conflicts    int64
@@ -98,9 +182,12 @@ type Solver struct {
 	}
 }
 
-// New returns an empty solver.
-func New() *Solver {
-	s := &Solver{varInc: 1, claInc: 1, ok: true}
+// New returns an empty solver with the default configuration.
+func New() *Solver { return NewWith(DefaultConfig()) }
+
+// NewWith returns an empty solver with the given configuration.
+func NewWith(cfg Config) *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true, cfg: cfg, rngState: cfg.Seed}
 	s.order = &varHeap{s: s}
 	return s
 }
@@ -118,7 +205,7 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.polarity = append(s.polarity, s.cfg.DefaultPolarity) // true = branch false first
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.insert(v)
@@ -411,12 +498,32 @@ func (s *Solver) bumpClause(c *clause) {
 }
 
 func (s *Solver) decayActivities() {
-	s.varInc /= 0.95
-	s.claInc /= 0.999
+	s.varInc /= s.cfg.VarDecay
+	s.claInc /= s.cfg.ClaDecay
 }
 
-// pickBranchVar returns the highest-activity unassigned variable.
+// nextRand steps the xorshift64 generator (only used when Seed != 0).
+func (s *Solver) nextRand() uint64 {
+	s.rngState ^= s.rngState << 13
+	s.rngState ^= s.rngState >> 7
+	s.rngState ^= s.rngState << 17
+	return s.rngState
+}
+
+// pickBranchVar returns the highest-activity unassigned variable,
+// occasionally (RandFreq of the time) a uniformly random one — the
+// portfolio's branching tie-break diversification.
 func (s *Solver) pickBranchVar() int {
+	if s.cfg.Seed != 0 && len(s.order.heap) > 0 &&
+		s.nextRand()%10000 < uint64(s.cfg.RandFreq*10000) {
+		// Peek a random heap entry without removing it: if it is later
+		// popped while assigned it is simply discarded, and backtracking
+		// reinserts unassigned variables anyway.
+		v := int(s.order.heap[s.nextRand()%uint64(len(s.order.heap))])
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
 	for !s.order.empty() {
 		v := s.order.pop()
 		if s.assigns[v] == lUndef {
@@ -448,20 +555,37 @@ func luby(y float64, x int) float64 {
 // Solve searches for a model under the given assumptions. It returns
 // true (model readable via Value) or false (UNSAT under assumptions).
 func (s *Solver) Solve(assumptions ...Lit) bool {
+	ok, _ := s.SolveCancel(nil, assumptions...)
+	return ok
+}
+
+// SolveCancel is Solve with a cancellation token: when another
+// goroutine sets cancel, the search unwinds at its next check and
+// SolveCancel returns canceled=true with no verdict. The solver stays
+// consistent and incremental — canceled solves keep their learnt
+// clauses and may be re-solved or extended afterwards. A nil cancel is
+// never checked.
+func (s *Solver) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
 	if !s.ok {
-		return false
+		return false, false
 	}
-	defer s.backtrackTo(0)
+	s.cancel = cancel
+	defer func() {
+		s.cancel = nil
+		s.backtrackTo(0)
+	}()
 
 	restarts := 0
 	for {
-		confl := s.search(int(100*luby(2, restarts)), assumptions)
+		confl := s.search(int(luby(2, restarts)*float64(s.cfg.LubyUnit)), assumptions)
 		switch confl {
 		case satisfied:
 			s.model = append(s.model[:0], s.assigns...)
-			return true
+			return true, false
 		case unsatisfiable:
-			return false
+			return false, false
+		case canceledRes:
+			return false, true
 		}
 		restarts++
 		s.Stats.Restarts++
@@ -474,6 +598,9 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 		}
 	}
 }
+
+// Conflicts returns the total conflicts seen, for stats reporting.
+func (s *Solver) Conflicts() int64 { return s.Stats.Conflicts }
 
 // reduceDB drops the lower-activity half of the learned clauses
 // (keeping binary clauses and clauses currently used as reasons) and
@@ -522,11 +649,15 @@ const (
 	sResTimeout searchResult = iota
 	satisfied
 	unsatisfiable
+	canceledRes
 )
 
 func (s *Solver) search(maxConflicts int, assumptions []Lit) searchResult {
 	conflicts := 0
 	for {
+		if s.cancel != nil && s.cancel.Load() {
+			return canceledRes
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++

@@ -64,6 +64,10 @@ type Options struct {
 	// traces per CEGIS iteration (default 1, the paper's behaviour).
 	// Larger values speed up deadlock-heavy spaces considerably.
 	TracesPerIteration int
+	// Parallelism sizes the SAT portfolio and the model checker's
+	// worker pool (default runtime.GOMAXPROCS(0)); 1 selects the fully
+	// deterministic sequential engine. See ARCHITECTURE.md.
+	Parallelism int
 	// Verbose receives progress lines when non-nil.
 	Verbose func(format string, args ...any)
 }
@@ -133,6 +137,7 @@ func (s *Sketch) Synthesize() (*Result, error) {
 		MaxIterations:      s.opts.MaxIterations,
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
+		Parallelism:        s.opts.Parallelism,
 		Verbose:            s.opts.Verbose,
 	})
 	if err != nil {
@@ -179,7 +184,7 @@ func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err
 	if err != nil {
 		return false, "", err
 	}
-	res, err := mc.Check(layout, cand, mc.Options{MaxStates: s.opts.MCMaxStates})
+	res, err := mc.Check(layout, cand, mc.Options{MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism})
 	if err != nil {
 		return false, "", err
 	}
@@ -232,6 +237,7 @@ func (s *Sketch) Enumerate(max int) ([]*Result, error) {
 		MaxIterations:      s.opts.MaxIterations,
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
+		Parallelism:        s.opts.Parallelism,
 		Verbose:            s.opts.Verbose,
 	})
 	if err != nil {
