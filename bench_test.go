@@ -8,6 +8,10 @@
 //   - BenchmarkAblationReorder* — the §7.2 quadratic vs insertion
 //     reorder encodings on the Figure 1 queue sketch;
 //   - BenchmarkMC_QueueE1 — one full verifier pass (all interleavings);
+//   - BenchmarkMC_Allocs/<bench>/j* — allocation-tracked verifier
+//     passes (allocs/op + states/sec, the hot-path overhaul metrics);
+//   - BenchmarkAblationLocalFusion*/AblationFootprintPOR* — the two
+//     state-space reductions on vs off;
 //   - BenchmarkProjection_QueueE2 — one trace projection + encoding;
 //   - BenchmarkMC_CexLateShard/j* — parallel verifier counterexample
 //     search where the failing schedule hides behind large benign
@@ -186,6 +190,7 @@ func BenchmarkMC_QueueE1(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := mc.Check(layout, desugar.Candidate{0, 0}, mc.Options{})
@@ -234,9 +239,10 @@ func sanitize(s string) string {
 	return r.Replace(s)
 }
 
-// ablation: the model checker's partial-order reduction (eager
-// thread-local steps) on vs off, on one full queueE1 verification.
-func benchPOR(b *testing.B, disable bool) {
+// ablation: the model checker's two reductions on one full queueE1
+// verification — local fusion (eager thread-local steps) and the
+// footprint-based partial-order reduction (persistent + sleep sets).
+func benchReduction(b *testing.B, opts mc.Options) {
 	sk := compileBench(b, sketches.QueueE1(), "ed(ed|ed)")
 	prog, err := ir.Lower(sk)
 	if err != nil {
@@ -246,9 +252,10 @@ func benchPOR(b *testing.B, disable bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := mc.Check(layout, desugar.Candidate{0, 0}, mc.Options{NoLocalFusion: disable})
+		res, err := mc.Check(layout, desugar.Candidate{0, 0}, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,8 +266,76 @@ func benchPOR(b *testing.B, disable bool) {
 	}
 }
 
-func BenchmarkAblationPOROn(b *testing.B)  { benchPOR(b, false) }
-func BenchmarkAblationPOROff(b *testing.B) { benchPOR(b, true) }
+func BenchmarkAblationLocalFusionOn(b *testing.B) { benchReduction(b, mc.Options{}) }
+func BenchmarkAblationLocalFusionOff(b *testing.B) {
+	benchReduction(b, mc.Options{NoLocalFusion: true})
+}
+func BenchmarkAblationFootprintPOROn(b *testing.B) { benchReduction(b, mc.Options{}) }
+func BenchmarkAblationFootprintPOROff(b *testing.B) {
+	benchReduction(b, mc.Options{NoPOR: true})
+}
+
+// benchMCAlloc is the allocation-tracked model-checker microbenchmark:
+// one exhaustive verifier pass per iteration on a verified candidate,
+// reporting allocs/op (the hot-path overhaul target) and a sustained
+// states/sec throughput metric.
+func benchMCAlloc(b *testing.B, bm *sketches.Benchmark, test string, cand desugar.Candidate, opts mc.Options) {
+	b.Helper()
+	sk := compileBench(b, bm, test)
+	if cand == nil {
+		syn, err := core.New(sk, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := syn.Synthesize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Resolved {
+			b.Fatalf("%s %s did not resolve", bm.Name, test)
+		}
+		cand = res.Candidate
+	}
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		res, err := mc.Check(layout, cand, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatal("expected OK")
+		}
+		states += res.States
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(states)/secs, "states/sec")
+	}
+}
+
+// BenchmarkMC_Allocs tracks the verifier's allocation behaviour on two
+// paper sketches, sequentially and sharded (see EXPERIMENTS.md for the
+// before/after history of the hot-path overhaul).
+func BenchmarkMC_Allocs(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		opts := mc.Options{Parallelism: j}
+		b.Run(fmt.Sprintf("queueE1/j%d", j), func(b *testing.B) {
+			benchMCAlloc(b, sketches.QueueE1(), "ed(ed|ed)", desugar.Candidate{0, 0}, opts)
+		})
+		b.Run(fmt.Sprintf("barrier1/j%d", j), func(b *testing.B) {
+			benchMCAlloc(b, sketches.Barrier1(), "N=2,B=2", nil, opts)
+		})
+	}
+}
 
 // lateShardSrc is a program whose only failing schedules start with
 // thread 2 (it reads flag before thread 0's first step sets it), while

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"psketch/internal/bench"
@@ -21,21 +22,51 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "regenerate Table 1")
-		fig9    = flag.Bool("fig9", false, "regenerate Figure 9")
-		fig10   = flag.Bool("fig10", false, "regenerate Figure 10 (runs the Figure 9 grid)")
-		filter  = flag.String("filter", "", "benchmark name substring filter")
-		extras  = flag.Bool("extras", false, "include extension benchmarks (treiber)")
-		traces  = flag.Int("traces", 1, "counterexample traces per CEGIS iteration (multi-trace learning)")
-		timeout = flag.Duration("timeout", 30*time.Minute, "per-test synthesis timeout")
-		verbose = flag.Bool("v", false, "per-iteration progress")
-		par     = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (use 1 for deterministic paper-comparable runs)")
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig9       = flag.Bool("fig9", false, "regenerate Figure 9")
+		fig10      = flag.Bool("fig10", false, "regenerate Figure 10 (runs the Figure 9 grid)")
+		filter     = flag.String("filter", "", "benchmark name substring filter")
+		extras     = flag.Bool("extras", false, "include extension benchmarks (treiber)")
+		traces     = flag.Int("traces", 1, "counterexample traces per CEGIS iteration (multi-trace learning)")
+		timeout    = flag.Duration("timeout", 30*time.Minute, "per-test synthesis timeout")
+		verbose    = flag.Bool("v", false, "per-iteration progress")
+		par        = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (use 1 for deterministic paper-comparable runs)")
+		noPOR      = flag.Bool("nopor", false, "disable the verifier's partial-order reduction (ablation)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if !*table1 && !*fig9 && !*fig10 {
 		*table1, *fig9, *fig10 = true, true, true
 	}
-	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces, Parallelism: *par}
+	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR}
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,38 +22,63 @@ import (
 
 func main() {
 	var (
-		target    = flag.String("target", "", "harness function (default: autodetect)")
-		candFlag  = flag.String("cand", "", "comma-separated hole values (default: all zero)")
-		intWidth  = flag.Int("intwidth", 5, "bit width of int values")
-		loopBound = flag.Int("loopbound", 4, "while-loop unroll bound")
-		maxStates = flag.Int("maxstates", 0, "state budget (0 = default)")
-		par       = flag.Int("j", runtime.GOMAXPROCS(0), "search parallelism (1 = deterministic DFS)")
+		target     = flag.String("target", "", "harness function (default: autodetect)")
+		candFlag   = flag.String("cand", "", "comma-separated hole values (default: all zero)")
+		intWidth   = flag.Int("intwidth", 5, "bit width of int values")
+		loopBound  = flag.Int("loopbound", 4, "while-loop unroll bound")
+		maxStates  = flag.Int("maxstates", 0, "state budget (0 = default)")
+		par        = flag.Int("j", runtime.GOMAXPROCS(0), "search parallelism (1 = deterministic DFS)")
+		noPOR      = flag.Bool("nopor", false, "disable the partial-order reduction (soundness cross-checks)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pskmc [flags] file.psk")
 		os.Exit(1)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	exit := func(code int) {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			writeMemProfile(*memProfile)
+		}
+		os.Exit(code)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	tgt := *target
 	if tgt == "" {
 		tgt, err = psketch.DetectTarget(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	sk, err := psketch.Compile(string(src), tgt, psketch.Options{
 		IntWidth: *intWidth, LoopBound: *loopBound, MCMaxStates: *maxStates,
-		Parallelism: *par,
+		Parallelism: *par, NoPOR: *noPOR,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	cand := make(psketch.Candidate, sk.Holes())
 	if *candFlag != "" {
@@ -64,7 +90,7 @@ func main() {
 			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bad -cand:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			cand[i] = v
 		}
@@ -72,12 +98,25 @@ func main() {
 	ok, cex, err := sk.ModelCheck(cand)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if ok {
 		fmt.Println("verified: no assertion violations, memory errors or deadlocks on any interleaving")
-		return
+		exit(0)
 	}
 	fmt.Print(cex)
-	os.Exit(2)
+	exit(2)
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }

@@ -59,6 +59,9 @@ type Options struct {
 	// (0 = core's default, GOMAXPROCS; 1 = the deterministic engine
 	// whose numbers the paper comparison is calibrated against).
 	Parallelism int
+	// NoPOR disables the verifier's partial-order reduction (ablation
+	// runs; the reduction is on by default).
+	NoPOR bool
 }
 
 // logBig computes log10 of a big integer.
@@ -101,6 +104,7 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		Verbose:            opts.Verbose,
 		TracesPerIteration: opts.TracesPerIteration,
 		Parallelism:        opts.Parallelism,
+		NoPOR:              opts.NoPOR,
 	})
 	if err != nil {
 		row.Err = err

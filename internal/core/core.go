@@ -54,6 +54,10 @@ type Options struct {
 	// worker pool (default runtime.GOMAXPROCS(0)). 1 runs the fully
 	// deterministic sequential engine.
 	Parallelism int
+	// NoPOR disables the model checker's footprint-based partial-order
+	// reduction (soundness cross-checks and measurement; the reduction
+	// is on by default).
+	NoPOR bool
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
 	// WatchCandidate, when non-nil, is checked against every learned
@@ -94,6 +98,7 @@ type Stats struct {
 	SATClauses int
 	SATConfl   int64
 	MCStates   int
+	MCTrans    int // transitions the model checker executed
 	MaxHeap    uint64 // peak observed heap, bytes
 	// Parallelism is the worker count both phases ran at; the
 	// per-worker columns below are empty at Parallelism 1.
@@ -128,6 +133,17 @@ type Synthesizer struct {
 	solver   satSolver
 	vmap     *circuit.VarMap
 	holeVars [][]int
+
+	// The sequential verifier's backend persists across CEGIS
+	// iterations: one solver keeps its learnt clauses and saved phases,
+	// each iteration's violation circuit is added incrementally, and the
+	// current goal is passed as a Solve assumption (so stale goals from
+	// earlier candidates stay inert). The builder and variable map must
+	// live exactly as long as the solver — circuit literal ids are only
+	// unique within one builder.
+	vb       *circuit.Builder
+	verifier satSolver
+	vvmap    *circuit.VarMap
 
 	stats Stats
 }
@@ -303,12 +319,14 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			MaxStates:   s.opts.MCMaxStates,
 			MaxTraces:   s.opts.TracesPerIteration,
 			Parallelism: s.opts.Parallelism,
+			NoPOR:       s.opts.NoPOR,
 		})
 		s.stats.VSolve += time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
 		s.stats.MCStates += mres.States
+		s.stats.MCTrans += mres.Trans
 		for len(s.stats.MCWorkerStates) < len(mres.WorkerStates) {
 			s.stats.MCWorkerStates = append(s.stats.MCWorkerStates, 0)
 		}
@@ -486,10 +504,18 @@ func (s *Synthesizer) equivalenceViolation(vb *circuit.Builder, holes []circuit.
 }
 
 // verifySequential checks one candidate against the spec on all inputs
-// by SAT-solving for a violating input in a fresh instance.
+// by SAT-solving for a violating input. The solver instance is reused
+// across iterations (building a fresh backend — a whole portfolio under
+// parallelism — per candidate dominated small-benchmark verify time);
+// the candidate's violation goal is a Solve assumption, never a clause.
 func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error) {
 	t0 := time.Now()
-	vb := circuit.NewBuilder()
+	if s.verifier == nil {
+		s.vb = circuit.NewBuilder()
+		s.verifier = newSolver(s.opts.Parallelism)
+		s.vvmap = circuit.NewVarMap()
+	}
+	vb := s.vb
 	holeConsts := sym.HoleConsts(s.Sk, cand)
 
 	inputWords := make([][]circuit.Word, len(s.Prog.Inputs))
@@ -513,14 +539,12 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	if err != nil {
 		return nil, err
 	}
-	vs := newSolver(s.opts.Parallelism)
-	vm := circuit.NewVarMap()
+	vs, vm := s.verifier, s.vvmap
 	goal := vb.ToSAT(vs, vm, violation)
-	vs.AddClause(goal)
 	s.stats.VModel += time.Since(t0)
 
 	t0 = time.Now()
-	found := vs.Solve()
+	found := vs.Solve(goal)
 	s.stats.VSolve += time.Since(t0)
 	if !found {
 		return nil, nil // verified on all inputs

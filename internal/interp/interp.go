@@ -74,6 +74,13 @@ func NewCtx(l *state.Layout, st *state.State, seq *ir.Seq, cand desugar.Candidat
 	return &Ctx{L: l, P: l.Prog, St: st, Seq: seq, Cand: cand}
 }
 
+// Reset retargets the context at another state (and optionally another
+// sequence), so long-lived contexts can be reused across transitions
+// instead of allocating one per step — the model checker's hot path.
+func (c *Ctx) Reset(st *state.State, seq *ir.Seq) {
+	c.St, c.Seq = st, seq
+}
+
 // wrap truncates to W-bit two's complement.
 func (c *Ctx) wrap(v int64) int32 {
 	w := uint(c.P.W)

@@ -4,14 +4,23 @@
 // assertions, memory safety, deadlock freedom, and bounded termination,
 // and produces a counterexample trace on failure (§6).
 //
-// Two sound reductions keep the state space tractable:
+// Three sound reductions keep the state space tractable:
 //
 //   - steps whose guards are false are skipped without a scheduling
 //     point (they are not executed at all);
 //   - steps that touch only thread-local state run eagerly after the
-//     scheduled step (they commute with every other thread's steps).
+//     scheduled step (they commute with every other thread's steps;
+//     disable with NoLocalFusion);
+//   - a footprint-based partial-order reduction (the role SPIN's POR
+//     plays in the paper): a static analysis over-approximates the
+//     shared cells each step reads and writes (internal/ir), and the
+//     search expands only a persistent subset of the enabled threads at
+//     each state, carrying sleep sets down the DFS to skip commuting
+//     interleavings it has already covered (disable with NoPOR).
 //
-// Visited states are hashed so each global state is expanded once.
+// Visited states are hashed so each global state is expanded once; the
+// visited table also records, per state, which transitions were already
+// explored, so revisits through other paths only do new work.
 //
 // # Concurrency contract
 //
@@ -27,14 +36,15 @@
 // one). Parallel search is sound and complete over the same
 // interleaving space, but nondeterministic in which counterexample it
 // reports first and in the exact States count (shards race to claim
-// states). Parallelism <= 1 runs the original sequential DFS and is
-// fully deterministic — bit-for-bit the pre-parallel behaviour.
-// Options.Hook forces the sequential path (the hook would otherwise
-// observe interleaved shards).
+// states, and with POR the sleep sets depend on claim order).
+// Parallelism <= 1 runs the sequential DFS and is fully deterministic.
+// Options.Hook forces the sequential path with POR off (the hook
+// observes the full schedule space).
 package mc
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"psketch/internal/desugar"
@@ -88,16 +98,23 @@ func (t *Trace) String() string {
 type Options struct {
 	MaxStates int // default 4,000,000
 	// Hook, when set, observes every executed step (for debugging and
-	// trace replay); it must not retain st.
+	// trace replay); it must not retain st. A hook forces the
+	// sequential search and disables the partial-order reduction, so
+	// the full schedule space is observed.
 	Hook func(ev Event, st *state.State)
-	// NoLocalFusion disables the eager execution of thread-local steps
-	// (the partial-order reduction), used to cross-check its soundness
-	// in tests.
+	// NoLocalFusion disables the eager execution of thread-local steps,
+	// used to cross-check its soundness in tests.
 	NoLocalFusion bool
+	// NoPOR disables the footprint-based partial-order reduction
+	// (persistent sets + sleep sets), used to cross-check its soundness
+	// in tests and to measure its effect.
+	NoPOR bool
 	// MaxTraces asks the search to keep going after the first
 	// counterexample and return up to this many distinct failing
 	// traces (default 1, the paper's behaviour). More traces per
 	// verifier call means more observations per CEGIS iteration.
+	// With POR enabled, commuting variants of one failure count as one
+	// schedule, so fewer than MaxTraces distinct traces may be found.
 	MaxTraces int
 	// Parallelism shards the search across this many worker goroutines
 	// (<= 1, or a set Hook, runs the deterministic sequential DFS).
@@ -129,7 +146,12 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 	if !p.Concurrent() {
 		return nil, fmt.Errorf("mc: program has no fork; use the sequential checker")
 	}
-	m := &checker{l: l, p: p, cand: cand, opts: opts, visited: map[[16]byte]bool{}}
+	m := &checker{l: l, p: p, cand: cand, opts: opts, tab: newFpTable()}
+	m.por = !opts.NoPOR && opts.Hook == nil
+	if m.por {
+		m.pt = buildPOR(l, ir.Footprints(p, cand))
+	}
+	m.initEval()
 
 	st := l.NewState()
 	// Global initializers and prologue run deterministically.
@@ -156,14 +178,62 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 }
 
 type checker struct {
-	l       *state.Layout
-	p       *ir.Program
-	cand    desugar.Candidate
-	opts    Options
-	visited map[[16]byte]bool
-	states  int
-	trans   int
-	traces  []*Trace
+	l    *state.Layout
+	p    *ir.Program
+	cand desugar.Candidate
+	opts Options
+
+	por bool
+	pt  *porTables // footprints for the fixed candidate (read-only)
+
+	tab    *fpTable
+	states int
+	trans  int
+	traces []*Trace
+
+	// Hot-path scratch: long-lived evaluation contexts (one per thread,
+	// retargeted at the state under evaluation), a freelist of state
+	// clones, and the epilogue scratch state.
+	ctxs    []*interp.Ctx
+	seqCtx  *interp.Ctx
+	scratch *state.State
+	free    []*state.State
+}
+
+// initEval builds the reusable evaluation contexts.
+func (m *checker) initEval() {
+	m.ctxs = make([]*interp.Ctx, len(m.p.Threads))
+	for t, seq := range m.p.Threads {
+		m.ctxs[t] = interp.NewCtx(m.l, nil, seq, m.cand)
+	}
+	m.seqCtx = interp.NewCtx(m.l, nil, nil, m.cand)
+}
+
+// cloneState takes a state off the freelist (or allocates) and copies
+// st into it.
+func (m *checker) cloneState(st *state.State) *state.State {
+	if n := len(m.free); n > 0 {
+		c := m.free[n-1]
+		m.free = m.free[:n-1]
+		c.CopyFrom(st)
+		return c
+	}
+	return st.Clone()
+}
+
+// release returns a clone to the freelist once its subtree is explored.
+func (m *checker) release(st *state.State) {
+	m.free = append(m.free, st)
+}
+
+// scratchFrom copies st into the checker's persistent scratch state.
+func (m *checker) scratchFrom(st *state.State) *state.State {
+	if m.scratch == nil {
+		m.scratch = st.Clone()
+	} else {
+		m.scratch.CopyFrom(st)
+	}
+	return m.scratch
 }
 
 // record stores a counterexample and reports whether the search should
@@ -176,7 +246,8 @@ func (m *checker) record(tr *Trace) bool {
 // runSequential executes a deterministic sequence (prologue, epilogue,
 // global init) to completion on st.
 func (m *checker) runSequential(st *state.State, seq *ir.Seq) *interp.Failure {
-	ctx := interp.NewCtx(m.l, st, seq, m.cand)
+	ctx := m.seqCtx
+	ctx.Reset(st, seq)
 	for _, step := range seq.Steps {
 		ok, f := ctx.EvalGuards(step)
 		if f != nil {
@@ -204,7 +275,8 @@ func (m *checker) runSequential(st *state.State, seq *ir.Seq) *interp.Failure {
 // shared (scheduling-relevant) step or at the end of the sequence.
 func (m *checker) advance(st *state.State, t int, path *[]Event) *interp.Failure {
 	seq := m.p.Threads[t]
-	ctx := interp.NewCtx(m.l, st, seq, m.cand)
+	ctx := m.ctxs[t]
+	ctx.Reset(st, seq)
 	for {
 		pc := int(st.PCs[t])
 		if pc >= len(seq.Steps) {
@@ -244,16 +316,25 @@ func (m *checker) normalize(st *state.State, path *[]Event) (int, *interp.Failur
 	return -1, nil
 }
 
-// dfs explores the interleavings from st (which must be normalized by
-// the caller for the root; children are normalized here). It returns
-// only on error or when the whole (pruned) space is explored or the
-// trace budget is met; counterexamples accumulate in m.traces.
+// dfs explores the interleavings from the root state st; counterexamples
+// accumulate in m.traces.
 func (m *checker) dfs(st *state.State, path *[]Event) error {
 	if t, f := m.normalize(st, path); f != nil {
 		m.record(m.failTrace(*path, f, t))
 		return nil
 	}
-	return m.expand(st, path)
+	return m.expand(st, 0, path)
+}
+
+// dfsChild continues the search after executing a step of thread t:
+// only t needs renormalizing (no other thread's locals changed), then
+// the state is expanded under the child's sleep set.
+func (m *checker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event) error {
+	if f := m.advance(st, t, path); f != nil {
+		m.record(m.failTrace(*path, f, t))
+		return nil
+	}
+	return m.expand(st, sleep, path)
 }
 
 // done reports whether the trace budget is met.
@@ -261,49 +342,72 @@ func (m *checker) done() bool {
 	return len(m.traces) >= m.opts.MaxTraces
 }
 
-func (m *checker) expand(st *state.State, path *[]Event) error {
-	key := st.Key()
-	if m.visited[key] {
-		return nil
-	}
-	m.visited[key] = true
-	m.states++
-	if m.states > m.opts.MaxStates {
-		return fmt.Errorf("mc: state space exceeds %d states", m.opts.MaxStates)
-	}
-
-	unfinished, enabled, blocked, tr := m.status(st)
-	if tr != nil {
-		tr.Events = append(tr.Events, *path...)
-		m.record(tr)
-		return nil
-	}
-	if unfinished == 0 {
-		// All threads done: check the epilogue on a scratch copy (the
-		// search continues from other interleavings).
-		scratch := st.Clone()
-		if f := m.runSequential(scratch, m.p.Epilogue); f != nil {
-			m.record(m.failTraceEpilogue(*path, f))
+// expand explores the (normalized) state st. sleep is the set of
+// threads whose current transitions are already covered by sibling
+// subtrees; the visited table's done-mask extends that across revisits
+// through other paths, so each (state, transition) pair is explored at
+// most once.
+func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
+	idx, fresh := m.tab.slot(st.Key())
+	if fresh {
+		m.states++
+		if m.states > m.opts.MaxStates {
+			return fmt.Errorf("mc: state space exceeds %d states", m.opts.MaxStates)
 		}
+		unfinished, enabled, unfin, tr := m.statusMask(st)
+		switch {
+		case tr != nil:
+			tr.Events = append(tr.Events, *path...)
+			m.record(tr)
+		case unfinished == 0:
+			// All threads done: check the epilogue on a scratch copy
+			// (the search continues from other interleavings).
+			if f := m.runSequential(m.scratchFrom(st), m.p.Epilogue); f != nil {
+				m.record(m.failTraceEpilogue(*path, f))
+			}
+		case enabled == 0:
+			blocked := m.blockedEvents(st, unfin)
+			f := &interp.Failure{Kind: interp.FailDeadlock, Pos: m.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
+			dtr := m.failTrace(*path, f, -1)
+			dtr.Deadlocked = blocked
+			m.record(dtr)
+		default:
+			pmask := enabled
+			if m.por {
+				pmask = m.pt.persistentSet(st, enabled, unfin)
+			}
+			m.tab.pm[idx] = pmaskKnown | pmask
+		}
+	}
+	pmask := m.tab.pm[idx] &^ pmaskKnown
+	todo := pmask &^ sleep &^ m.tab.done[idx]
+	if todo == 0 {
 		return nil
 	}
-	if len(enabled) == 0 {
-		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: m.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
-		tr := m.failTrace(*path, f, -1)
-		tr.Deadlocked = blocked
-		m.record(tr)
-		return nil
-	}
-
-	for _, t := range enabled {
+	// Claim now: the table index is invalidated by insertions below.
+	m.tab.done[idx] |= todo
+	single := todo&(todo-1) == 0
+	explored := uint64(0)
+	for work := todo; work != 0; {
+		t := bits.TrailingZeros64(work)
+		work &^= 1 << uint(t)
 		if m.done() {
 			return nil
 		}
-		child := st.Clone()
+		var cs uint64
+		if m.por {
+			cs = m.pt.childSleep(st, sleep|explored, t)
+		}
+		explored |= 1 << uint(t)
+		child := st
+		if !single {
+			child = m.cloneState(st)
+		}
 		seq := m.p.Threads[t]
 		pc := int(child.PCs[t])
 		step := seq.Steps[pc]
-		ctx := interp.NewCtx(m.l, child, seq, m.cand)
+		ctx := m.ctxs[t]
+		ctx.Reset(child, seq)
 		m.trans++
 		*path = append(*path, Event{Thread: t, Step: pc})
 		if m.opts.Hook != nil {
@@ -312,11 +416,18 @@ func (m *checker) expand(st *state.State, path *[]Event) error {
 		if f := ctx.ExecBody(step); f != nil {
 			m.record(m.failTrace(*path, f, t))
 			*path = (*path)[:len(*path)-1]
+			if !single {
+				m.release(child)
+			}
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
 		mark := len(*path)
-		if err := m.dfs(child, path); err != nil {
+		err := m.dfsChild(child, t, cs, path)
+		if !single {
+			m.release(child)
+		}
+		if err != nil {
 			return err
 		}
 		*path = (*path)[:mark-1]
@@ -324,31 +435,50 @@ func (m *checker) expand(st *state.State, path *[]Event) error {
 	return nil
 }
 
-// status inspects the normalized state: counts unfinished threads,
-// collects enabled ones, and the blocked pending steps. A failure while
-// evaluating a blocking condition is itself a counterexample.
-func (m *checker) status(st *state.State) (unfinished int, enabled []int, blocked []Event, tr *Trace) {
+// statusMask inspects the normalized state: counts unfinished threads
+// and reports the enabled and unfinished thread sets as bitmasks. A
+// failure while evaluating a blocking condition is itself a
+// counterexample.
+func (m *checker) statusMask(st *state.State) (unfinished int, enabled, unfin uint64, tr *Trace) {
 	for t, seq := range m.p.Threads {
 		pc := int(st.PCs[t])
 		if pc >= len(seq.Steps) {
 			continue
 		}
 		unfinished++
+		unfin |= 1 << uint(t)
 		step := seq.Steps[pc]
+		// Steps without a blocking condition are always enabled — no
+		// evaluation needed.
+		if step.Cond == nil {
+			enabled |= 1 << uint(t)
+			continue
+		}
 		// Blocking conditions are side-effect free (enforced at
 		// lowering), so no state copy is needed.
-		ctx := interp.NewCtx(m.l, st, seq, m.cand)
+		ctx := m.ctxs[t]
+		ctx.Reset(st, seq)
 		ok, f := ctx.EvalCond(step)
 		if f != nil {
-			return 0, nil, nil, m.failTrace(nil, f, t)
+			return 0, 0, 0, m.failTrace(nil, f, t)
 		}
 		if ok {
-			enabled = append(enabled, t)
-		} else {
-			blocked = append(blocked, Event{Thread: t, Step: pc})
+			enabled |= 1 << uint(t)
 		}
 	}
-	return unfinished, enabled, blocked, nil
+	return unfinished, enabled, unfin, nil
+}
+
+// blockedEvents lists, per unfinished thread, the step it is blocked at
+// (used only to report deadlocks).
+func (m *checker) blockedEvents(st *state.State, unfin uint64) []Event {
+	var out []Event
+	for rest := unfin; rest != 0; {
+		t := bits.TrailingZeros64(rest)
+		rest &^= 1 << uint(t)
+		out = append(out, Event{Thread: t, Step: int(st.PCs[t])})
+	}
+	return out
 }
 
 func (m *checker) failTrace(path []Event, f *interp.Failure, thread int) *Trace {

@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,36 +11,63 @@ import (
 	"psketch/internal/state"
 )
 
-// stripedSet is the shared visited-state set of the parallel search: 64
-// independently locked map shards, indexed by the low bits of the state
-// fingerprint, so workers contend only when they hash into the same
-// stripe.
+// stripedSet is the shared visited-state table of the parallel search:
+// 64 independently locked map shards, indexed by the low bits of the
+// state fingerprint, so workers contend only when they hash into the
+// same stripe. Each entry carries the same bookkeeping as the
+// sequential fpTable: the done-mask of claimed transitions and the
+// stored persistent mask (pmaskKnown-tagged once computed).
 type stripedSet struct {
 	stripes [64]struct {
 		mu sync.Mutex
-		m  map[[16]byte]bool
+		m  map[[16]byte]*pentry
 	}
+}
+
+type pentry struct {
+	done uint64
+	pmw  uint64 // pmaskKnown | persistent mask, 0 while uncomputed
 }
 
 func newStripedSet() *stripedSet {
 	s := &stripedSet{}
 	for i := range s.stripes {
-		s.stripes[i].m = map[[16]byte]bool{}
+		s.stripes[i].m = map[[16]byte]*pentry{}
 	}
 	return s
 }
 
-// visit marks the key visited, reporting whether this call claimed it
-// first (exactly one worker expands each state).
-func (s *stripedSet) visit(k [16]byte) bool {
+// arrive registers the key, reporting whether this call created the
+// entry (exactly one worker counts and classifies each state) plus a
+// snapshot of the done mask and stored pmask word.
+func (s *stripedSet) arrive(k [16]byte) (fresh bool, done, pmw uint64) {
 	st := &s.stripes[k[0]&63]
 	st.mu.Lock()
-	claimed := !st.m[k]
-	if claimed {
-		st.m[k] = true
+	e := st.m[k]
+	if e == nil {
+		e = &pentry{}
+		st.m[k] = e
+		fresh = true
+	}
+	done, pmw = e.done, e.pmw
+	st.mu.Unlock()
+	return fresh, done, pmw
+}
+
+// claim atomically takes the not-yet-done subset of want, marks it
+// done, and stores the pmask word if the entry has none yet. The caller
+// explores exactly the returned transitions.
+func (s *stripedSet) claim(k [16]byte, pmw, want uint64) uint64 {
+	st := &s.stripes[k[0]&63]
+	st.mu.Lock()
+	e := st.m[k]
+	todo := want &^ e.done
+	e.done |= todo
+	if e.pmw == 0 {
+		e.pmw = pmw
 	}
 	st.mu.Unlock()
-	return claimed
+	return todo
 }
 
 // pshared is the state the parallel search workers share: the visited
@@ -84,82 +112,125 @@ func (sh *pshared) fail(err error) {
 }
 
 // pworker is one parallel search worker: the sequential checker's
-// normalization/status/trace helpers (via embedding) plus dfs/expand
-// variants that go through the shared visited set and counters.
+// normalization/status/trace helpers (via embedding, with its own
+// evaluation contexts and state freelist) plus dfs/expand variants that
+// go through the shared visited table and counters.
 type pworker struct {
 	checker
 	sh       *pshared
-	expanded int64 // states this worker claimed
+	expanded int64 // states this worker claimed first
 }
 
-func (w *pworker) dfs(st *state.State, path *[]Event) error {
+func (w *pworker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event) error {
 	if w.sh.cancel.Load() {
 		return nil
 	}
-	if t, f := w.normalize(st, path); f != nil {
+	if f := w.advance(st, t, path); f != nil {
 		w.sh.record(w.failTrace(*path, f, t))
 		return nil
 	}
-	return w.expand(st, path)
+	return w.expand(st, sleep, path)
 }
 
-func (w *pworker) expand(st *state.State, path *[]Event) error {
-	if !w.sh.visited.visit(st.Key()) {
-		return nil
+func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
+	k := st.Key()
+	fresh, done, pmw := w.sh.visited.arrive(k)
+	if !fresh && pmw&pmaskKnown != 0 && (pmw&^pmaskKnown)&^sleep&^done == 0 {
+		return nil // nothing new to explore here
 	}
-	w.expanded++
-	// The DFS is CPU-bound; when workers outnumber cores, a shard that
-	// would find a counterexample quickly can starve behind a large
-	// benign shard for a full preemption quantum (~10ms). Yielding
-	// every so often bounds that latency and, with it, how long a
-	// cancelled search keeps burning cycles.
-	if w.expanded&255 == 0 {
-		runtime.Gosched()
-	}
-	if w.sh.states.Add(1) > int64(w.sh.maxStates) {
-		return fmt.Errorf("mc: state space exceeds %d states", w.sh.maxStates)
-	}
-
-	unfinished, enabled, blocked, tr := w.status(st)
-	if tr != nil {
-		tr.Events = append(tr.Events, *path...)
-		w.sh.record(tr)
-		return nil
-	}
-	if unfinished == 0 {
-		scratch := st.Clone()
-		if f := w.runSequential(scratch, w.p.Epilogue); f != nil {
-			w.sh.record(w.failTraceEpilogue(*path, f))
+	var pmask uint64
+	if pmw&pmaskKnown != 0 {
+		pmask = pmw &^ pmaskKnown
+	} else {
+		// The persistent mask depends only on the state (and the fixed
+		// candidate), so racing workers that compute it concurrently
+		// agree on the value; claim() keeps the first stored word.
+		unfinished, enabled, unfin, tr := w.statusMask(st)
+		if fresh {
+			w.expanded++
+			// The DFS is CPU-bound; when workers outnumber cores, a
+			// shard that would find a counterexample quickly can starve
+			// behind a large benign shard for a full preemption quantum
+			// (~10ms). Yielding every so often bounds that latency and,
+			// with it, how long a cancelled search keeps burning cycles.
+			if w.expanded&255 == 0 {
+				runtime.Gosched()
+			}
+			if w.sh.states.Add(1) > int64(w.sh.maxStates) {
+				return fmt.Errorf("mc: state space exceeds %d states", w.sh.maxStates)
+			}
+			switch {
+			case tr != nil:
+				tr.Events = append(tr.Events, *path...)
+				w.sh.record(tr)
+			case unfinished == 0:
+				if f := w.runSequential(w.scratchFrom(st), w.p.Epilogue); f != nil {
+					w.sh.record(w.failTraceEpilogue(*path, f))
+				}
+			case enabled == 0:
+				blocked := w.blockedEvents(st, unfin)
+				f := &interp.Failure{Kind: interp.FailDeadlock, Pos: w.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
+				dtr := w.failTrace(*path, f, -1)
+				dtr.Deadlocked = blocked
+				w.sh.record(dtr)
+			default:
+				pmask = enabled
+				if w.por {
+					pmask = w.pt.persistentSet(st, enabled, unfin)
+				}
+			}
+		} else if tr == nil && unfinished > 0 && enabled != 0 {
+			// A racing revisit before the first arriver stored its
+			// mask: recompute (deterministic) and claim what we can.
+			pmask = enabled
+			if w.por {
+				pmask = w.pt.persistentSet(st, enabled, unfin)
+			}
 		}
+	}
+	todo := w.sh.visited.claim(k, pmaskKnown|pmask, pmask&^sleep)
+	if todo == 0 {
 		return nil
 	}
-	if len(enabled) == 0 {
-		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: w.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
-		tr := w.failTrace(*path, f, -1)
-		tr.Deadlocked = blocked
-		w.sh.record(tr)
-		return nil
-	}
-
-	for _, t := range enabled {
+	single := todo&(todo-1) == 0
+	explored := uint64(0)
+	for work := todo; work != 0; {
+		t := bits.TrailingZeros64(work)
+		work &^= 1 << uint(t)
 		if w.sh.cancel.Load() {
 			return nil
 		}
-		child := st.Clone()
+		var cs uint64
+		if w.por {
+			cs = w.pt.childSleep(st, sleep|explored, t)
+		}
+		explored |= 1 << uint(t)
+		child := st
+		if !single {
+			child = w.cloneState(st)
+		}
 		seq := w.p.Threads[t]
 		pc := int(child.PCs[t])
 		step := seq.Steps[pc]
-		ctx := interp.NewCtx(w.l, child, seq, w.cand)
+		ctx := w.ctxs[t]
+		ctx.Reset(child, seq)
 		w.sh.trans.Add(1)
 		*path = append(*path, Event{Thread: t, Step: pc})
 		if f := ctx.ExecBody(step); f != nil {
 			w.sh.record(w.failTrace(*path, f, t))
 			*path = (*path)[:len(*path)-1]
+			if !single {
+				w.release(child)
+			}
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
 		mark := len(*path)
-		if err := w.dfs(child, path); err != nil {
+		err := w.dfsChild(child, t, cs, path)
+		if !single {
+			w.release(child)
+		}
+		if err != nil {
 			return err
 		}
 		*path = (*path)[:mark-1]
@@ -168,9 +239,10 @@ func (w *pworker) expand(st *state.State, path *[]Event) error {
 }
 
 // checkParallel runs the sharded search: the root state is normalized
-// and expanded on the caller's goroutine, then each enabled first event
-// becomes a shard, and Parallelism workers drain the shard queue
-// against the shared visited set.
+// and expanded on the caller's goroutine, then each member of the
+// root's persistent set becomes a shard (seeded with the sleep set its
+// sequential sibling order implies), and Parallelism workers drain the
+// shard queue against the shared visited table.
 func (m *checker) checkParallel(st *state.State) (*Result, error) {
 	sh := &pshared{visited: newStripedSet(), maxStates: m.opts.MaxStates, maxTraces: m.opts.MaxTraces}
 	finish := func(workers int, perWorker []int) *Result {
@@ -195,40 +267,58 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 		sh.record(m.failTrace(prefix, f, t))
 		return finish(0, nil), nil
 	}
-	sh.visited.visit(st.Key())
+	rootKey := st.Key()
+	sh.visited.arrive(rootKey)
 	sh.states.Add(1)
-	unfinished, enabled, blocked, tr := m.status(st)
+	unfinished, enabled, unfin, tr := m.statusMask(st)
 	switch {
 	case tr != nil:
 		tr.Events = append(tr.Events, prefix...)
 		sh.record(tr)
 		return finish(0, nil), nil
 	case unfinished == 0:
-		scratch := st.Clone()
-		if f := m.runSequential(scratch, m.p.Epilogue); f != nil {
+		if f := m.runSequential(m.scratchFrom(st), m.p.Epilogue); f != nil {
 			sh.record(m.failTraceEpilogue(prefix, f))
 		}
 		return finish(0, nil), nil
-	case len(enabled) == 0:
+	case enabled == 0:
+		blocked := m.blockedEvents(st, unfin)
 		f := &interp.Failure{Kind: interp.FailDeadlock, Pos: m.p.Threads[blocked[0].Thread].Steps[blocked[0].Step].Pos}
 		dtr := m.failTrace(prefix, f, -1)
 		dtr.Deadlocked = blocked
 		sh.record(dtr)
 		return finish(0, nil), nil
 	}
+	pmask := enabled
+	if m.por {
+		pmask = m.pt.persistentSet(st, enabled, unfin)
+	}
+	sh.visited.claim(rootKey, pmaskKnown|pmask, pmask)
 
-	// One shard per enabled first event.
+	// One shard per member of the root persistent set, each seeded with
+	// the sleep set the sequential sibling order would give it.
 	type shard struct {
-		st   *state.State
-		path []Event
+		st    *state.State
+		path  []Event
+		t     int
+		sleep uint64
 	}
 	var shards []shard
-	for _, t := range enabled {
+	explored := uint64(0)
+	for work := pmask; work != 0; {
+		t := bits.TrailingZeros64(work)
+		work &^= 1 << uint(t)
+		var cs uint64
+		if m.por {
+			cs = m.pt.childSleep(st, explored, t)
+		}
+		explored |= 1 << uint(t)
 		child := st.Clone()
 		seq := m.p.Threads[t]
 		pc := int(child.PCs[t])
 		step := seq.Steps[pc]
-		ctx := interp.NewCtx(m.l, child, seq, m.cand)
+		ctx := m.ctxs[t]
+		ctx.Reset(child, seq)
 		sh.trans.Add(1)
 		spath := append(append([]Event(nil), prefix...), Event{Thread: t, Step: pc})
 		if f := ctx.ExecBody(step); f != nil {
@@ -236,7 +326,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
-		shards = append(shards, shard{child, spath})
+		shards = append(shards, shard{child, spath, t, cs})
 	}
 
 	workers := m.opts.Parallelism
@@ -255,13 +345,14 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts}, sh: sh}
+				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts, por: m.por, pt: m.pt}, sh: sh}
+				w.initEval()
 				for s := range queue {
 					if sh.cancel.Load() {
 						break
 					}
 					path := s.path
-					if err := w.dfs(s.st, &path); err != nil {
+					if err := w.dfsChild(s.st, s.t, s.sleep, &path); err != nil {
 						sh.fail(err)
 						break
 					}

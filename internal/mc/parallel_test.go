@@ -37,17 +37,19 @@ func TestParallelMatchesSequential(t *testing.T) {
 }
 
 // A verified program must be explored exhaustively: with no
-// counterexample to cancel on, the parallel search covers the same
-// state space as the sequential one (the visited set is shared, so the
-// total distinct states match exactly).
+// counterexample to cancel on, the unreduced parallel search covers the
+// same state space as the sequential one (the visited set is shared, so
+// the total distinct states match exactly). With POR on, the parallel
+// sleep sets depend on claim order, so the guarantee weakens to "same
+// verdict, never more states than the unreduced search".
 func TestParallelExhaustiveStates(t *testing.T) {
 	_, l, sk := lower(t, atomicSrc, desugar.Options{})
 	cand := make(desugar.Candidate, len(sk.Holes))
-	seq, err := Check(l, cand, Options{})
+	seq, err := Check(l, cand, Options{NoPOR: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Check(l, cand, Options{Parallelism: 4})
+	par, err := Check(l, cand, Options{NoPOR: true, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +70,17 @@ func TestParallelExhaustiveStates(t *testing.T) {
 	// goroutine expands.
 	if total != par.States-1 {
 		t.Fatalf("per-worker states %v sum to %d, want %d", par.WorkerStates, total, par.States-1)
+	}
+
+	porPar, err := Check(l, cand, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !porPar.OK {
+		t.Fatal("POR parallel search changed the verdict")
+	}
+	if porPar.States > seq.States {
+		t.Fatalf("POR parallel explored %d states, more than the unreduced %d", porPar.States, seq.States)
 	}
 }
 

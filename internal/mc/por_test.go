@@ -1,0 +1,148 @@
+package mc
+
+import (
+	"testing"
+
+	"psketch/internal/desugar"
+)
+
+// fpTable must behave like the map it replaced: find-or-insert with
+// stable bookkeeping across growth.
+func TestFpTableInsertLookupGrow(t *testing.T) {
+	tab := newFpTable()
+	mk := func(i int) [16]byte {
+		var k [16]byte
+		k[0] = byte(i)
+		k[1] = byte(i >> 8)
+		k[15] = byte(i * 7)
+		return k
+	}
+	const n = 5000 // forces several growths from the 1024-slot start
+	for i := 0; i < n; i++ {
+		idx, fresh := tab.slot(mk(i))
+		if !fresh {
+			t.Fatalf("key %d reported as seen on first insert", i)
+		}
+		tab.done[idx] = uint64(i)
+		tab.pm[idx] = pmaskKnown | uint64(i%7)
+	}
+	for i := 0; i < n; i++ {
+		idx, fresh := tab.slot(mk(i))
+		if fresh {
+			t.Fatalf("key %d lost after growth", i)
+		}
+		if tab.done[idx] != uint64(i) || tab.pm[idx] != pmaskKnown|uint64(i%7) {
+			t.Fatalf("key %d bookkeeping corrupted: done=%d pm=%d", i, tab.done[idx], tab.pm[idx])
+		}
+	}
+	if tab.n != n {
+		t.Fatalf("size %d, want %d", tab.n, n)
+	}
+}
+
+// POR must preserve every verdict of the unreduced search on programs
+// covering the outcome kinds (assertion race, verified atomic, AB-BA
+// deadlock), while never exploring more states, and the reduced search
+// must stay deterministic.
+func TestPORVerdictsMatchUnreduced(t *testing.T) {
+	for _, src := range []string{racySrc, atomicSrc, deadlockSrc} {
+		_, l, sk := lower(t, src, desugar.Options{})
+		cand := make(desugar.Candidate, len(sk.Holes))
+		por, err := Check(l, cand, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Check(l, cand, Options{NoPOR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if por.OK != full.OK {
+			t.Fatalf("POR changed the verdict: por=%v full=%v", por.OK, full.OK)
+		}
+		if por.States > full.States {
+			t.Errorf("POR explored more states (%d vs %d)", por.States, full.States)
+		}
+		if !por.OK {
+			if por.Trace.Failure.Kind != full.Trace.Failure.Kind {
+				t.Fatalf("failure kind differs: por=%v full=%v",
+					por.Trace.Failure.Kind, full.Trace.Failure.Kind)
+			}
+		}
+		again, err := Check(l, cand, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.OK != por.OK || again.States != por.States || again.Trans != por.Trans {
+			t.Fatal("POR search is nondeterministic")
+		}
+	}
+}
+
+// Two threads writing disjoint globals commute completely: POR must
+// collapse the diamond (strictly fewer states than the full search).
+func TestPORCollapsesIndependentWriters(t *testing.T) {
+	src := `
+int a = 0;
+int b = 0;
+harness void Main() {
+	fork (i; 2) {
+		if (i == 0) { a = 1; a = 2; a = 3; }
+		if (i == 1) { b = 1; b = 2; b = 3; }
+	}
+	assert a == 3;
+	assert b == 3;
+}
+`
+	_, l, sk := lower(t, src, desugar.Options{})
+	cand := make(desugar.Candidate, len(sk.Holes))
+	// Local fusion off isolates the footprint-based reduction: every
+	// shared write is a scheduling point.
+	por, err := Check(l, cand, Options{NoLocalFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Check(l, cand, Options{NoLocalFusion: true, NoPOR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !por.OK || !full.OK {
+		t.Fatalf("false positive: por=%v full=%v", por.Trace, full.Trace)
+	}
+	if por.States >= full.States {
+		t.Fatalf("independent writers not collapsed: %d vs %d states", por.States, full.States)
+	}
+}
+
+// Threads racing on one global conflict everywhere: POR must not skip
+// any interleaving (same verdict, and the racy outcome still found).
+func TestPORKeepsConflictingInterleavings(t *testing.T) {
+	_, l, sk := lower(t, racySrc, desugar.Options{})
+	cand := make(desugar.Candidate, len(sk.Holes))
+	res, err := Check(l, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("POR skipped the losing-update interleaving")
+	}
+}
+
+// The multi-trace API stays sound under POR: each returned trace is a
+// real failing schedule (the budget may not fill — commuting variants
+// of one failure count once).
+func TestPORMultiTrace(t *testing.T) {
+	_, l, sk := lower(t, racySrc, desugar.Options{})
+	cand := make(desugar.Candidate, len(sk.Holes))
+	res, err := Check(l, cand, Options{MaxTraces: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || len(res.Traces) == 0 {
+		t.Fatalf("ok=%v traces=%d", res.OK, len(res.Traces))
+	}
+	for _, tr := range res.Traces {
+		if tr.Failure == nil {
+			t.Fatal("trace without failure")
+		}
+	}
+}

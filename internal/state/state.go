@@ -26,6 +26,7 @@ type Layout struct {
 	fieldIdx  map[string]int // "Struct.field" -> field position
 	fieldCnt  map[string]int
 	seqBase   map[*ir.Seq][]int // per-seq local offsets (by local index)
+	sharedEnd int               // cells [0,sharedEnd) are globals + arenas
 }
 
 // NewLayout computes the layout for a lowered program.
@@ -64,6 +65,7 @@ func NewLayout(p *ir.Program) (*Layout, error) {
 		l.heapBase[sd.Name] = off
 		off += n * p.Arenas[sd.Name]
 	}
+	l.sharedEnd = off
 	for _, seq := range l.allSeqs() {
 		offs := make([]int, len(seq.Locals))
 		for i, v := range seq.Locals {
@@ -95,6 +97,12 @@ func (l *Layout) allSeqs() []*ir.Seq {
 
 // GlobalOff returns the cell offset of global i.
 func (l *Layout) GlobalOff(i int) int { return l.globalOff[i] }
+
+// SharedCells returns the number of leading cells holding shared state
+// (globals followed by the heap arenas); the remaining cells are
+// per-sequence thread-local storage. The model checker's footprint
+// bitsets range over exactly these cells.
+func (l *Layout) SharedCells() int { return l.sharedEnd }
 
 // LocalOff returns the cell offset of a sequence's local i.
 func (l *Layout) LocalOff(seq *ir.Seq, i int) int { return l.seqBase[seq][i] }
@@ -135,6 +143,14 @@ func (s *State) Clone() *State {
 	copy(c.Cells, s.Cells)
 	copy(c.PCs, s.PCs)
 	return c
+}
+
+// CopyFrom overwrites s with src's contents (the states must share a
+// layout). It lets the model checker reuse freelisted states instead of
+// allocating a fresh Clone per transition.
+func (s *State) CopyFrom(src *State) {
+	copy(s.Cells, src.Cells)
+	copy(s.PCs, src.PCs)
 }
 
 // Key returns a 128-bit FNV-1a fingerprint of the state, used as the

@@ -68,6 +68,10 @@ type Options struct {
 	// worker pool (default runtime.GOMAXPROCS(0)); 1 selects the fully
 	// deterministic sequential engine. See ARCHITECTURE.md.
 	Parallelism int
+	// NoPOR disables the model checker's footprint-based partial-order
+	// reduction (on by default; see ARCHITECTURE.md for the reduction
+	// knobs and their soundness cross-checks).
+	NoPOR bool
 	// Verbose receives progress lines when non-nil.
 	Verbose func(format string, args ...any)
 }
@@ -138,6 +142,7 @@ func (s *Sketch) Synthesize() (*Result, error) {
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
 		Parallelism:        s.opts.Parallelism,
+		NoPOR:              s.opts.NoPOR,
 		Verbose:            s.opts.Verbose,
 	})
 	if err != nil {
@@ -184,7 +189,9 @@ func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err
 	if err != nil {
 		return false, "", err
 	}
-	res, err := mc.Check(layout, cand, mc.Options{MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism})
+	res, err := mc.Check(layout, cand, mc.Options{
+		MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism, NoPOR: s.opts.NoPOR,
+	})
 	if err != nil {
 		return false, "", err
 	}
@@ -238,6 +245,7 @@ func (s *Sketch) Enumerate(max int) ([]*Result, error) {
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
 		Parallelism:        s.opts.Parallelism,
+		NoPOR:              s.opts.NoPOR,
 		Verbose:            s.opts.Verbose,
 	})
 	if err != nil {
