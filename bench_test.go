@@ -40,6 +40,7 @@ import (
 	"psketch/internal/mc"
 	"psketch/internal/parser"
 	"psketch/internal/project"
+	"psketch/internal/sat"
 	"psketch/internal/sketches"
 	"psketch/internal/state"
 	"psketch/internal/sym"
@@ -232,6 +233,59 @@ func BenchmarkProjection_QueueE2(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serialAdder hides AddClauses so ToSAT falls back to clause-by-clause
+// insertion — the pre-batching baseline.
+type serialAdder struct{ sat.Adder }
+
+// BenchmarkProjectionInsert_QueueE2 measures pushing one projected
+// trace constraint into a 4-worker SAT portfolio — the per-iteration
+// cost on the CEGIS critical path. The batch case hands the whole
+// Tseitin CNF to Portfolio.AddClauses in one worker-major broadcast;
+// the serial case inserts clause by clause through the same portfolio.
+func BenchmarkProjectionInsert_QueueE2(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE2(), "ed(ed|ed)")
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := state.NewLayout(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bad := make(desugar.Candidate, len(sk.Holes))
+	res, err := mc.Check(layout, bad, mc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.OK {
+		b.Fatal("expected a counterexample")
+	}
+	cb := circuit.NewBuilder()
+	holes := sym.HoleInputs(cb, sk)
+	entries := project.Build(prog, res.Trace)
+	fail, err := project.Encode(cb, layout, holes, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, wrap func(*sat.Portfolio) sat.Adder) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := sat.NewPortfolio(4)
+			s := wrap(p)
+			lit := cb.ToSAT(s, circuit.NewVarMap(), fail.Not())
+			if !s.AddClause(lit) {
+				b.Fatal("projection clause unsatisfiable on its own")
+			}
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		run(b, func(p *sat.Portfolio) sat.Adder { return p })
+	})
+	b.Run("serial", func(b *testing.B) {
+		run(b, func(p *sat.Portfolio) sat.Adder { return serialAdder{p} })
+	})
 }
 
 func sanitize(s string) string {

@@ -32,6 +32,9 @@ func main() {
 		verbose    = flag.Bool("v", false, "per-iteration progress")
 		par        = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (use 1 for deterministic paper-comparable runs)")
 		noPOR      = flag.Bool("nopor", false, "disable the verifier's partial-order reduction (ablation)")
+		pipeline   = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
+		share      = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
+		jsonOut    = flag.String("json", "", "write the measured Figure 9 rows to this file as JSON")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -66,7 +69,11 @@ func main() {
 	if !*table1 && !*fig9 && !*fig10 {
 		*table1, *fig9, *fig10 = true, true, true
 	}
-	opts := bench.Options{Filter: *filter, Timeout: *timeout, IncludeExtras: *extras, TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR}
+	opts := bench.Options{
+		Filter: *filter, Timeout: *timeout, IncludeExtras: *extras,
+		TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR,
+		NoPipeline: !*pipeline, NoShareClauses: !*share,
+	}
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -89,5 +96,12 @@ func main() {
 	if *fig10 {
 		fmt.Println("== Figure 10: log10|C| vs CEGIS iterations ==")
 		bench.Fig10(os.Stdout, rows)
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, rows, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d row(s) to %s\n", len(rows), *jsonOut)
 	}
 }

@@ -32,6 +32,8 @@ func main() {
 		all       = flag.Int("all", 0, "enumerate up to N distinct solutions (0 = first only)")
 		traces    = flag.Int("traces", 1, "counterexample traces per CEGIS iteration")
 		par       = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (1 = deterministic)")
+		pipeline  = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
+		share     = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,6 +53,8 @@ func main() {
 		MCMaxStates:        *maxStates,
 		TracesPerIteration: *traces,
 		Parallelism:        *par,
+		NoPipeline:         !*pipeline,
+		NoShareClauses:     !*share,
 	}
 	if *quadratic {
 		opts.Encoding = psketch.EncodeQuadratic

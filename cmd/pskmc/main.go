@@ -16,6 +16,8 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"psketch"
 )
@@ -29,6 +31,7 @@ func main() {
 		maxStates  = flag.Int("maxstates", 0, "state budget (0 = default)")
 		par        = flag.Int("j", runtime.GOMAXPROCS(0), "search parallelism (1 = deterministic DFS)")
 		noPOR      = flag.Bool("nopor", false, "disable the partial-order reduction (soundness cross-checks)")
+		timeout    = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -72,9 +75,14 @@ func main() {
 			exit(1)
 		}
 	}
+	var cancel atomic.Bool
+	if *timeout > 0 {
+		t := time.AfterFunc(*timeout, func() { cancel.Store(true) })
+		defer t.Stop()
+	}
 	sk, err := psketch.Compile(string(src), tgt, psketch.Options{
 		IntWidth: *intWidth, LoopBound: *loopBound, MCMaxStates: *maxStates,
-		Parallelism: *par, NoPOR: *noPOR,
+		Parallelism: *par, NoPOR: *noPOR, Cancel: &cancel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -7,6 +7,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"psketch/internal/core"
@@ -29,6 +30,10 @@ type Row struct {
 	VModel      time.Duration
 	MemMiB      float64
 	MCStates    int
+	MCTrans     int
+	SATVars     int
+	SATClauses  int
+	SATConfl    int64
 	LogC        float64
 	Err         error
 	// Per-worker columns (empty at parallelism 1): portfolio wins and
@@ -36,6 +41,16 @@ type Row struct {
 	Parallelism    int
 	SATWorkers     []sat.WorkerStats
 	MCWorkerStates []int
+	// Pipeline columns: speculative solves launched/adopted and their
+	// overlapped wall time; clause-sharing and projection-cache totals.
+	SpecSolves  int
+	SpecHits    int
+	SpecSolve   time.Duration
+	SATExported int64
+	SATImported int64
+	ProjHits    int64
+	ProjMisses  int64
+	ProjSaved   int64
 }
 
 // Options configure a benchmark sweep.
@@ -62,6 +77,11 @@ type Options struct {
 	// NoPOR disables the verifier's partial-order reduction (ablation
 	// runs; the reduction is on by default).
 	NoPOR bool
+	// NoPipeline disables the speculative solve/verify overlap
+	// (ablation; on by default at Parallelism > 1).
+	NoPipeline bool
+	// NoShareClauses disables portfolio clause sharing (ablation).
+	NoShareClauses bool
 }
 
 // logBig computes log10 of a big integer.
@@ -99,12 +119,16 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	if b.Name == "dinphilo" && strings.HasPrefix(test, "N=5") && maxStates == 0 {
 		maxStates = 60_000_000
 	}
+	var cancel atomic.Bool
 	syn, err := core.New(sk, core.Options{
 		MCMaxStates:        maxStates,
 		Verbose:            opts.Verbose,
 		TracesPerIteration: opts.TracesPerIteration,
 		Parallelism:        opts.Parallelism,
 		NoPOR:              opts.NoPOR,
+		NoPipeline:         opts.NoPipeline,
+		NoShareClauses:     opts.NoShareClauses,
+		Cancel:             &cancel,
 	})
 	if err != nil {
 		row.Err = err
@@ -125,6 +149,11 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		case o := <-ch:
 			res, err = o.res, o.err
 		case <-time.After(opts.Timeout):
+			// Tear the run down cooperatively and join it, so a timed-out
+			// benchmark does not leave solver/verifier goroutines running
+			// under the next one.
+			cancel.Store(true)
+			<-ch
 			row.Err = fmt.Errorf("timeout after %v", opts.Timeout)
 			return row
 		}
@@ -145,9 +174,21 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	row.VModel = res.Stats.VModel
 	row.MemMiB = float64(res.Stats.MaxHeap) / (1 << 20)
 	row.MCStates = res.Stats.MCStates
+	row.MCTrans = res.Stats.MCTrans
+	row.SATVars = res.Stats.SATVars
+	row.SATClauses = res.Stats.SATClauses
+	row.SATConfl = res.Stats.SATConfl
 	row.Parallelism = res.Stats.Parallelism
 	row.SATWorkers = res.Stats.SATWorkers
 	row.MCWorkerStates = res.Stats.MCWorkerStates
+	row.SpecSolves = res.Stats.SpecSolves
+	row.SpecHits = res.Stats.SpecHits
+	row.SpecSolve = res.Stats.SpecSolve
+	row.SATExported = res.Stats.SATExported
+	row.SATImported = res.Stats.SATImported
+	row.ProjHits = res.Stats.ProjHits
+	row.ProjMisses = res.Stats.ProjMisses
+	row.ProjSaved = res.Stats.ProjSaved
 	return row
 }
 
@@ -203,7 +244,7 @@ func workerLine(row Row) string {
 		if i > 0 {
 			b.WriteString(" ")
 		}
-		fmt.Fprintf(&b, "w%d:%dwin/%dcf", i, ws.Wins, ws.Conflicts)
+		fmt.Fprintf(&b, "w%d:%dwin/%dcf/%dexp/%dimp", i, ws.Wins, ws.Conflicts, ws.Exported, ws.Imported)
 	}
 	b.WriteString("] mc[")
 	for i, n := range row.MCWorkerStates {
@@ -213,6 +254,9 @@ func workerLine(row Row) string {
 		fmt.Fprintf(&b, "w%d:%dst", i, n)
 	}
 	b.WriteString("]\n")
+	fmt.Fprintf(&b, "%-9s %-14s |   pipe[%d spec, %d adopted, %s overlapped] proj[%d hit/%d miss, %d entries saved]\n",
+		"", "", row.SpecSolves, row.SpecHits, short(row.SpecSolve),
+		row.ProjHits, row.ProjMisses, row.ProjSaved)
 	return b.String()
 }
 

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"psketch/internal/sat"
+)
+
+// jsonRow is the machine-readable form of a Figure 9 row: durations in
+// milliseconds, errors as strings, field names stable across PRs so the
+// checked-in BENCH_*.json files diff cleanly.
+type jsonRow struct {
+	Bench    string `json:"bench"`
+	Test     string `json:"test"`
+	Resolved bool   `json:"resolved"`
+	Expected bool   `json:"expected"`
+	Error    string `json:"error,omitempty"`
+
+	Iterations int     `json:"iterations"`
+	LogC       float64 `json:"log10_candidates"`
+	TotalMS    float64 `json:"total_ms"`
+	SSolveMS   float64 `json:"ssolve_ms"`
+	SModelMS   float64 `json:"smodel_ms"`
+	VSolveMS   float64 `json:"vsolve_ms"`
+	VModelMS   float64 `json:"vmodel_ms"`
+	MemMiB     float64 `json:"mem_mib"`
+
+	MCStates   int   `json:"mc_states"`
+	MCTrans    int   `json:"mc_trans"`
+	SATVars    int   `json:"sat_vars"`
+	SATClauses int   `json:"sat_clauses"`
+	SATConfl   int64 `json:"sat_conflicts"`
+
+	Parallelism    int               `json:"parallelism"`
+	SATWorkers     []sat.WorkerStats `json:"sat_workers,omitempty"`
+	MCWorkerStates []int             `json:"mc_worker_states,omitempty"`
+
+	SpecSolves  int     `json:"spec_solves"`
+	SpecHits    int     `json:"spec_hits"`
+	SpecSolveMS float64 `json:"spec_solve_ms"`
+	SATExported int64   `json:"sat_exported"`
+	SATImported int64   `json:"sat_imported"`
+	ProjHits    int64   `json:"proj_hits"`
+	ProjMisses  int64   `json:"proj_misses"`
+	ProjSaved   int64   `json:"proj_saved_entries"`
+}
+
+// jsonReport is the top-level document pskbench -json writes.
+type jsonReport struct {
+	Options struct {
+		Parallelism        int    `json:"parallelism"`
+		Pipeline           bool   `json:"pipeline"`
+		ShareClauses       bool   `json:"share_clauses"`
+		POR                bool   `json:"por"`
+		TracesPerIteration int    `json:"traces_per_iteration"`
+		TimeoutMS          int64  `json:"timeout_ms"`
+		Filter             string `json:"filter,omitempty"`
+	} `json:"options"`
+	Rows []jsonRow `json:"rows"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteJSON writes the measured rows (and the sweep configuration that
+// produced them) to path as indented JSON.
+func WriteJSON(path string, rows []Row, opts Options) error {
+	var rep jsonReport
+	rep.Options.Parallelism = opts.Parallelism
+	rep.Options.Pipeline = !opts.NoPipeline
+	rep.Options.ShareClauses = !opts.NoShareClauses
+	rep.Options.POR = !opts.NoPOR
+	rep.Options.TracesPerIteration = opts.TracesPerIteration
+	rep.Options.TimeoutMS = opts.Timeout.Milliseconds()
+	rep.Options.Filter = opts.Filter
+	rep.Rows = make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		jr := jsonRow{
+			Bench: r.Bench, Test: r.Test, Resolved: r.Resolved, Expected: r.Expected,
+			Iterations: r.Itns, LogC: r.LogC,
+			TotalMS: ms(r.Total), SSolveMS: ms(r.SSolve), SModelMS: ms(r.SModel),
+			VSolveMS: ms(r.VSolve), VModelMS: ms(r.VModel), MemMiB: r.MemMiB,
+			MCStates: r.MCStates, MCTrans: r.MCTrans,
+			SATVars: r.SATVars, SATClauses: r.SATClauses, SATConfl: r.SATConfl,
+			Parallelism: r.Parallelism, SATWorkers: r.SATWorkers, MCWorkerStates: r.MCWorkerStates,
+			SpecSolves: r.SpecSolves, SpecHits: r.SpecHits, SpecSolveMS: ms(r.SpecSolve),
+			SATExported: r.SATExported, SATImported: r.SATImported,
+			ProjHits: r.ProjHits, ProjMisses: r.ProjMisses, ProjSaved: r.ProjSaved,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		rep.Rows = append(rep.Rows, jr)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

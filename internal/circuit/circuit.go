@@ -47,6 +47,9 @@ type Builder struct {
 	hash  map[[2]Lit]Lit
 	// inputs records which nodes are inputs (for Eval).
 	isInput []bool
+	// satLits/satEnds are ToSAT's reusable clause-batch scratch.
+	satLits []sat.Lit
+	satEnds []int
 }
 
 // NewBuilder returns an empty builder.
@@ -198,7 +201,24 @@ func (m *VarMap) set(n int32, v int) {
 // or a Portfolio — anything that can allocate variables and take
 // clauses), reusing previously encoded nodes, and returns the SAT
 // literal for l.
+//
+// When the solver supports batch insertion (sat.BatchAdder), the
+// Tseitin clauses of the whole cone are buffered into builder-owned
+// scratch and handed over in one AddClauses call, so a portfolio
+// broadcasts each cone once per worker instead of once per clause. The
+// clause stream each worker sees is identical to per-clause emission.
 func (b *Builder) ToSAT(s sat.Adder, m *VarMap, l Lit) sat.Lit {
+	batch, _ := s.(sat.BatchAdder)
+	b.satLits = b.satLits[:0]
+	b.satEnds = b.satEnds[:0]
+	emit := func(lits ...sat.Lit) {
+		if batch != nil {
+			b.satLits = append(b.satLits, lits...)
+			b.satEnds = append(b.satEnds, len(b.satLits))
+		} else {
+			s.AddClause(lits...)
+		}
+	}
 	var rec func(n int32) int
 	rec = func(n int32) int {
 		if v, ok := m.get(n); ok {
@@ -207,7 +227,7 @@ func (b *Builder) ToSAT(s sat.Adder, m *VarMap, l Lit) sat.Lit {
 		v := s.NewVar()
 		m.set(n, v)
 		if n == 0 {
-			s.AddClause(sat.MkLit(v, false)) // constant true
+			emit(sat.MkLit(v, false)) // constant true
 			return v
 		}
 		nd := b.nodes[n]
@@ -220,12 +240,15 @@ func (b *Builder) ToSAT(s sat.Adder, m *VarMap, l Lit) sat.Lit {
 		lb := sat.MkLit(bv, nd.b.neg())
 		ln := sat.MkLit(v, false)
 		// n ↔ (a ∧ b)
-		s.AddClause(ln.Not(), la)
-		s.AddClause(ln.Not(), lb)
-		s.AddClause(la.Not(), lb.Not(), ln)
+		emit(ln.Not(), la)
+		emit(ln.Not(), lb)
+		emit(la.Not(), lb.Not(), ln)
 		return v
 	}
 	v := rec(l.node())
+	if batch != nil && len(b.satEnds) > 0 {
+		batch.AddClauses(b.satLits, b.satEnds)
+	}
 	return sat.MkLit(v, l.neg())
 }
 

@@ -25,8 +25,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"psketch/internal/circuit"
@@ -58,6 +61,19 @@ type Options struct {
 	// reduction (soundness cross-checks and measurement; the reduction
 	// is on by default).
 	NoPOR bool
+	// NoPipeline disables the speculative synthesize/verify overlap of
+	// the concurrent engine (on by default at Parallelism > 1; the
+	// pipeline never runs at Parallelism 1, which stays bit-for-bit the
+	// sequential engine).
+	NoPipeline bool
+	// NoShareClauses disables learned-clause exchange between the SAT
+	// portfolio's workers (on by default at Parallelism > 1).
+	NoShareClauses bool
+	// Cancel, when set and stored true by another goroutine, aborts the
+	// synthesis cooperatively: in-flight SAT solves and model-checker
+	// searches unwind, worker goroutines are joined, and Synthesize
+	// returns ErrCanceled.
+	Cancel *atomic.Bool
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
 	// WatchCandidate, when non-nil, is checked against every learned
@@ -109,7 +125,30 @@ type Stats struct {
 	// MCWorkerStates accumulates the states each verifier worker
 	// expanded across all iterations.
 	MCWorkerStates []int
+	// SpecSolves counts speculative solves launched by the pipelined
+	// engine; SpecHits counts the speculative candidates that survived
+	// the new constraints and were adopted without a blocking solve.
+	// SpecSolve is the wall time those solves ran — overlapped with
+	// verification, so it is NOT part of the critical path that SSolve
+	// measures.
+	SpecSolves int
+	SpecHits   int
+	SpecSolve  time.Duration
+	// SATExported/SATImported total the clauses exchanged through the
+	// portfolio's shared pool across all workers.
+	SATExported int64
+	SATImported int64
+	// Projection-encoding cache effectiveness: Encode calls that
+	// restored a memoized trace prefix (ProjHits) vs. replayed from the
+	// base state (ProjMisses), and the total projected entries skipped.
+	ProjHits   int64
+	ProjMisses int64
+	ProjSaved  int64
 }
+
+// ErrCanceled is returned by Synthesize when Options.Cancel fired
+// before the loop converged.
+var ErrCanceled = errors.New("core: canceled")
 
 // Result is the synthesis outcome.
 type Result struct {
@@ -145,7 +184,23 @@ type Synthesizer struct {
 	verifier satSolver
 	vvmap    *circuit.VarMap
 
-	stats Stats
+	// projCache memoizes projection encodings per trace prefix on b; it
+	// persists across iterations and Synthesize calls (Enumerate).
+	projCache *project.Cache
+
+	// specAct is the activation variable gating speculative blocking
+	// clauses (-1 until first used). Each pipelined iteration adds
+	// (¬specAct ∨ block(cand_k)); a speculative solve assumes specAct,
+	// activating every such clause at once — sound, because by the time
+	// iteration k+1 speculates, candidates 1..k are all permanently
+	// refuted by ungated clauses. Regular solves leave specAct free.
+	specAct int
+
+	// statsMu guards stats: the speculative-solve goroutine records its
+	// wall time concurrently with the driver goroutine's verifier
+	// bookkeeping.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // satSolver is the incremental-solving interface the CEGIS loop needs;
@@ -153,6 +208,7 @@ type Synthesizer struct {
 type satSolver interface {
 	sat.Adder
 	Solve(assumptions ...sat.Lit) bool
+	SolveCancel(cancel *atomic.Bool, assumptions ...sat.Lit) (sat, canceled bool)
 	Value(v int) bool
 	NumVars() int
 	NumClauses() int
@@ -162,9 +218,11 @@ type satSolver interface {
 // newSolver picks the solving backend: a portfolio of diversified
 // workers when parallelism allows, else the deterministic single
 // solver.
-func newSolver(parallelism int) satSolver {
+func newSolver(parallelism int, noShare bool) satSolver {
 	if parallelism > 1 {
-		return sat.NewPortfolio(parallelism)
+		p := sat.NewPortfolio(parallelism)
+		p.SetSharing(!noShare)
+		return p
 	}
 	return sat.New()
 }
@@ -173,7 +231,7 @@ func newSolver(parallelism int) satSolver {
 // structural constraints of the candidate space.
 func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	opts = opts.defaults()
-	s := &Synthesizer{Sk: sk, opts: opts}
+	s := &Synthesizer{Sk: sk, opts: opts, specAct: -1}
 
 	t0 := time.Now()
 	prog, err := ir.Lower(sk)
@@ -190,7 +248,7 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	t0 = time.Now()
 	s.b = circuit.NewBuilder()
 	s.holes = sym.HoleInputs(s.b, sk)
-	s.solver = newSolver(opts.Parallelism)
+	s.solver = newSolver(opts.Parallelism, opts.NoShareClauses)
 	s.vmap = circuit.NewVarMap()
 	s.holeVars = make([][]int, len(sk.Holes))
 	for i, w := range s.holes {
@@ -248,20 +306,21 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 func (s *Synthesizer) sampleHeap() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	s.statsMu.Lock()
 	if ms.HeapAlloc > s.stats.MaxHeap {
 		s.stats.MaxHeap = ms.HeapAlloc
 	}
+	s.statsMu.Unlock()
 }
 
-// nextCandidate asks the SAT solver for a candidate consistent with all
-// observations so far.
-func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool) {
-	t0 := time.Now()
-	okSat := s.solver.Solve()
-	s.stats.SSolve += time.Since(t0)
-	if !okSat {
-		return nil, false
-	}
+// canceled reports whether the external cancellation token fired.
+func (s *Synthesizer) canceled() bool {
+	return s.opts.Cancel != nil && s.opts.Cancel.Load()
+}
+
+// extractCandidate reads the hole assignment out of the solver's model.
+// The caller must own the solver (no concurrent solve in flight).
+func (s *Synthesizer) extractCandidate() desugar.Candidate {
 	cand := make(desugar.Candidate, len(s.holeVars))
 	for i, vars := range s.holeVars {
 		v := int64(0)
@@ -272,7 +331,24 @@ func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool) {
 		}
 		cand[i] = v
 	}
-	return cand, true
+	return cand
+}
+
+// nextCandidate asks the SAT solver for a candidate consistent with all
+// observations so far. err is non-nil only on cancellation.
+func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool, error) {
+	t0 := time.Now()
+	okSat, canceled := s.solver.SolveCancel(s.opts.Cancel)
+	s.statsMu.Lock()
+	s.stats.SSolve += time.Since(t0)
+	s.statsMu.Unlock()
+	if canceled {
+		return nil, false, ErrCanceled
+	}
+	if !okSat {
+		return nil, false, nil
+	}
+	return s.extractCandidate(), true, nil
 }
 
 // Synthesize runs the appropriate CEGIS loop.
@@ -288,31 +364,134 @@ func (s *Synthesizer) Synthesize() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// All worker goroutines are joined by now; the lock is for the
+	// race detector's benefit only.
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	s.stats.SATVars = s.solver.NumVars()
 	s.stats.SATClauses = s.solver.NumClauses()
 	s.stats.SATConfl = s.solver.Conflicts()
 	s.stats.Parallelism = s.opts.Parallelism
 	if p, ok := s.solver.(*sat.Portfolio); ok {
 		s.stats.SATWorkers = p.WorkerStats()
+		s.stats.SATExported, s.stats.SATImported = 0, 0
+		for _, w := range s.stats.SATWorkers {
+			s.stats.SATExported += w.Exported
+			s.stats.SATImported += w.Imported
+		}
+	}
+	if c := s.projCache; c != nil {
+		s.stats.ProjHits, s.stats.ProjMisses, s.stats.ProjSaved = c.Hits, c.Misses, c.SavedEntries
 	}
 	s.stats.Total = time.Since(start)
 	res.Stats = s.stats
 	return res, nil
 }
 
+// specResult is what a speculative solve hands back to the driver.
+type specResult struct {
+	cand     desugar.Candidate // model, when found
+	found    bool              // SAT: a next candidate exists
+	canceled bool              // solve was torn down before a verdict
+}
+
+// startSpec launches the speculative solve for the candidate after
+// cand: a gated blocking clause (¬specAct ∨ block(cand)) is added, then
+// a goroutine solves under the assumption specAct and extracts the
+// model. The goroutine owns s.solver until its channel delivers; the
+// driver must join (receive) before touching the solver again. cancel
+// tears the solve down without a verdict.
+func (s *Synthesizer) startSpec(cand desugar.Candidate) (<-chan specResult, *atomic.Bool) {
+	if s.specAct < 0 {
+		s.specAct = s.solver.NewVar()
+	}
+	lits := []sat.Lit{sat.MkLit(s.specAct, true)}
+	for i, vars := range s.holeVars {
+		for j, sv := range vars {
+			bit := (cand.Value(i)>>uint(j))&1 == 1
+			lits = append(lits, sat.MkLit(sv, bit))
+		}
+	}
+	s.solver.AddClause(lits...)
+
+	cancel := &atomic.Bool{}
+	ch := make(chan specResult, 1)
+	go func() {
+		t0 := time.Now()
+		ok, canceled := s.solver.SolveCancel(cancel, sat.MkLit(s.specAct, false))
+		dur := time.Since(t0)
+		r := specResult{canceled: canceled}
+		if !canceled && ok {
+			r.found = true
+			r.cand = s.extractCandidate()
+		}
+		s.statsMu.Lock()
+		s.stats.SpecSolves++
+		s.stats.SpecSolve += dur
+		s.statsMu.Unlock()
+		ch <- r
+	}()
+	return ch, cancel
+}
+
 // synthesizeConcurrent is the CEGIS loop of §6: candidates are model
 // checked over all interleavings; failing traces are projected onto the
 // candidate space and added as inductive constraints.
+//
+// With Parallelism > 1 (and NoPipeline unset) the loop is pipelined:
+// while the model checker verifies candidate k on the driver goroutine,
+// a speculative goroutine solves for candidate k+1 from the clauses
+// known so far. When the verifier refutes k, the new projection clauses
+// are evaluated directly on the speculative model (b.Eval); a surviving
+// model is adopted without any blocking solve, otherwise the re-solve
+// starts warm from the portfolio's saved phases. Solver ownership
+// alternates strictly — spec goroutine during verification, driver
+// otherwise — with the result channel as the happens-before edge.
 func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
+	pipelined := s.opts.Parallelism > 1 && !s.opts.NoPipeline
+	if s.projCache == nil {
+		s.projCache = project.NewCache(s.b, s.Layout, s.holes)
+	}
 	var lastTrace *mc.Trace
+	var cand desugar.Candidate
+	haveCand := false
 	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
+		s.statsMu.Lock()
 		s.stats.Iterations = iter
-		cand, ok := s.nextCandidate()
-		if !ok {
-			s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
-			return &Result{Resolved: false, LastTrace: lastTrace}, nil
+		s.statsMu.Unlock()
+		if s.canceled() {
+			return nil, ErrCanceled
 		}
+		if !haveCand {
+			c, ok, err := s.nextCandidate()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
+				return &Result{Resolved: false, LastTrace: lastTrace}, nil
+			}
+			cand = c
+		}
+		haveCand = false
 		s.opts.Verbose("iteration %d: model checking candidate %v", iter, cand)
+
+		var specCh <-chan specResult
+		var specCancel *atomic.Bool
+		if pipelined {
+			specCh, specCancel = s.startSpec(cand)
+		}
+		joinSpec := func(cancel bool) specResult {
+			if specCh == nil {
+				return specResult{}
+			}
+			if cancel {
+				specCancel.Store(true)
+			}
+			r := <-specCh
+			specCh = nil
+			return r
+		}
 
 		t0 := time.Now()
 		mres, err := mc.Check(s.Layout, cand, mc.Options{
@@ -320,11 +499,19 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			MaxTraces:   s.opts.TracesPerIteration,
 			Parallelism: s.opts.Parallelism,
 			NoPOR:       s.opts.NoPOR,
+			Cancel:      s.opts.Cancel,
 		})
+		s.statsMu.Lock()
 		s.stats.VSolve += time.Since(t0)
+		s.statsMu.Unlock()
 		if err != nil {
+			joinSpec(true)
+			if errors.Is(err, mc.ErrCanceled) {
+				err = ErrCanceled
+			}
 			return nil, err
 		}
+		s.statsMu.Lock()
 		s.stats.MCStates += mres.States
 		s.stats.MCTrans += mres.Trans
 		for len(s.stats.MCWorkerStates) < len(mres.WorkerStates) {
@@ -333,28 +520,50 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 		for i, n := range mres.WorkerStates {
 			s.stats.MCWorkerStates[i] += n
 		}
+		s.statsMu.Unlock()
 		s.sampleHeap()
 		if mres.OK {
+			// The speculative next candidate is moot; tear it down.
+			joinSpec(true)
 			s.opts.Verbose("iteration %d: candidate verified (%d states)", iter, mres.States)
 			return &Result{Resolved: true, Candidate: cand}, nil
 		}
 		lastTrace = mres.Trace
 		s.opts.Verbose("iteration %d: %d counterexample(s): %s", iter, len(mres.Traces), mres.Trace)
 
+		// Reclaim the solver before projecting: the projection adds
+		// clauses. Not canceling here costs nothing on the critical
+		// path — an unfinished speculative solve is exactly the solve
+		// the unpipelined loop would now run in the foreground.
+		spec := joinSpec(false)
+
 		t0 = time.Now()
 		refuted := false
+		specAlive := spec.found
+		var specAsn map[circuit.Lit]bool
+		if specAlive {
+			specAsn = s.inputAssignment(spec.cand)
+		}
+		candAsn := s.inputAssignment(cand)
 		for _, tr := range mres.Traces {
 			entries := project.Build(s.Prog, tr)
-			failLit, err := project.Encode(s.b, s.Layout, s.holes, entries)
+			failLit, err := s.projCache.Encode(entries)
 			if err != nil {
 				return nil, err
 			}
 			s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, failLit.Not()))
-			if s.b.Eval(s.inputAssignment(cand), failLit) {
+			if s.b.Eval(candAsn, failLit) {
 				refuted = true
 			}
+			// Re-check the speculative candidate against each learned
+			// constraint: it survives only if no new clause refutes it.
+			if specAlive && s.b.Eval(specAsn, failLit) {
+				specAlive = false
+			}
 		}
+		s.statsMu.Lock()
 		s.stats.SModel += time.Since(t0)
+		s.statsMu.Unlock()
 		s.sampleHeap()
 
 		// Guard against projections too weak to eliminate the failing
@@ -374,6 +583,17 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			if !s.solver.Solve(assume...) {
 				s.opts.Verbose("iteration %d: WATCH: clause set now contradicts the watched candidate", iter)
 			}
+		}
+		if specAlive {
+			// The speculative model satisfies every constraint learned
+			// this iteration (and, by construction, everything earlier):
+			// adopt it and skip the next blocking solve entirely.
+			s.statsMu.Lock()
+			s.stats.SpecHits++
+			s.statsMu.Unlock()
+			s.opts.Verbose("iteration %d: speculative candidate %v survived the new constraints", iter, spec.cand)
+			cand = spec.cand
+			haveCand = true
 		}
 	}
 	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
@@ -408,8 +628,16 @@ func (s *Synthesizer) excludeCandidate(cand desugar.Candidate) {
 // become observations.
 func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
+		s.statsMu.Lock()
 		s.stats.Iterations = iter
-		cand, ok := s.nextCandidate()
+		s.statsMu.Unlock()
+		if s.canceled() {
+			return nil, ErrCanceled
+		}
+		cand, ok, err := s.nextCandidate()
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			return &Result{Resolved: false}, nil
 		}
@@ -429,7 +657,9 @@ func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 		if err := s.addInputObservation(cex); err != nil {
 			return nil, err
 		}
+		s.statsMu.Lock()
 		s.stats.SModel += time.Since(t0)
+		s.statsMu.Unlock()
 	}
 	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
 }
@@ -512,7 +742,7 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	t0 := time.Now()
 	if s.verifier == nil {
 		s.vb = circuit.NewBuilder()
-		s.verifier = newSolver(s.opts.Parallelism)
+		s.verifier = newSolver(s.opts.Parallelism, s.opts.NoShareClauses)
 		s.vvmap = circuit.NewVarMap()
 	}
 	vb := s.vb
@@ -541,11 +771,18 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	}
 	vs, vm := s.verifier, s.vvmap
 	goal := vb.ToSAT(vs, vm, violation)
+	s.statsMu.Lock()
 	s.stats.VModel += time.Since(t0)
+	s.statsMu.Unlock()
 
 	t0 = time.Now()
-	found := vs.Solve(goal)
+	found, canceled := vs.SolveCancel(s.opts.Cancel, goal)
+	s.statsMu.Lock()
 	s.stats.VSolve += time.Since(t0)
+	s.statsMu.Unlock()
+	if canceled {
+		return nil, ErrCanceled
+	}
 	if !found {
 		return nil, nil // verified on all inputs
 	}

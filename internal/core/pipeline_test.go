@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"psketch/internal/desugar"
+)
+
+// The pipelined engine must reach the same verdict as the unpipelined
+// parallel engine and the sequential engine, and must actually
+// speculate on a multi-iteration sketch.
+func TestPipelineMatchesUnpipelined(t *testing.T) {
+	seq := build(t, raceySketch, "M", desugar.Options{}, Options{Parallelism: 1})
+	seqRes, err := seq.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := build(t, raceySketch, "M", desugar.Options{}, Options{Parallelism: 4, NoPipeline: true})
+	plainRes, err := plain.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := build(t, raceySketch, "M", desugar.Options{}, Options{Parallelism: 4})
+	pipedRes, err := piped.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipedRes.Resolved != seqRes.Resolved || plainRes.Resolved != seqRes.Resolved {
+		t.Fatalf("verdicts differ: piped=%v plain=%v seq=%v",
+			pipedRes.Resolved, plainRes.Resolved, seqRes.Resolved)
+	}
+	// The unique correct choice is the atomic branch.
+	if pipedRes.Candidate.Value(0) != seqRes.Candidate.Value(0) {
+		t.Fatalf("candidates differ: piped=%v seq=%v", pipedRes.Candidate, seqRes.Candidate)
+	}
+	if pipedRes.Stats.SpecSolves == 0 {
+		t.Fatalf("pipelined run never speculated: %+v", pipedRes.Stats)
+	}
+	if plainRes.Stats.SpecSolves != 0 {
+		t.Fatalf("NoPipeline run speculated: %+v", plainRes.Stats)
+	}
+	// Projections only happen on refute iterations; a lucky first
+	// candidate legitimately skips the cache.
+	if pipedRes.Stats.Iterations > 1 && pipedRes.Stats.ProjMisses+pipedRes.Stats.ProjHits == 0 {
+		t.Fatal("projection cache saw no Encode calls despite refuted iterations")
+	}
+}
+
+// Unresolvable must stay a definitive NO under the pipeline (a
+// speculative model adopted without a blocking solve still satisfies
+// every learned constraint).
+func TestPipelineUnresolvable(t *testing.T) {
+	syn := build(t, `
+int g = 0;
+harness void M() {
+	fork (i; 2) {
+		int t = g;
+		t = t + ??(2);
+		g = t;
+	}
+	assert g == 2;
+}
+`, "M", desugar.Options{}, Options{Parallelism: 4})
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved {
+		t.Fatalf("racy increment cannot be resolved; got %v", res.Candidate)
+	}
+}
+
+// Clause sharing off must not change verdicts.
+func TestPipelineNoShareClauses(t *testing.T) {
+	syn := build(t, raceySketch, "M", desugar.Options{}, Options{Parallelism: 4, NoShareClauses: true})
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatal("should resolve")
+	}
+	if res.Stats.SATExported != 0 || res.Stats.SATImported != 0 {
+		t.Fatalf("sharing disabled but clauses moved: %+v", res.Stats)
+	}
+}
+
+// A pre-fired Cancel token must abort immediately with ErrCanceled and
+// leave no goroutines behind (the -race run would flag a leaked solve).
+func TestPipelineCancel(t *testing.T) {
+	var cancel atomic.Bool
+	cancel.Store(true)
+	syn := build(t, raceySketch, "M", desugar.Options{}, Options{Parallelism: 4, Cancel: &cancel})
+	_, err := syn.Synthesize()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// Enumerate must keep working across Synthesize calls with the
+// persistent projection cache and speculation state.
+func TestPipelineEnumerate(t *testing.T) {
+	syn := build(t, `
+int g = 0;
+harness void M() {
+	fork (i; 1) { }
+	g = ??(2);
+	assert g >= 2;
+}
+`, "M", desugar.Options{}, Options{Parallelism: 4})
+	rs, err := syn.Enumerate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 { // 2 and 3
+		t.Fatalf("got %d candidates", len(rs))
+	}
+}

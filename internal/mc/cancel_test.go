@@ -1,0 +1,32 @@
+package mc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"psketch/internal/desugar"
+)
+
+// A pre-fired cancel token must surface ErrCanceled from Check rather
+// than a partial verdict, on both the sequential and parallel searches.
+func TestCheckCancel(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var cancel atomic.Bool
+		cancel.Store(true)
+		_, l, sk := lower(t, racySrc, desugar.Options{})
+		_, err := Check(l, make(desugar.Candidate, len(sk.Holes)),
+			Options{Parallelism: par, Cancel: &cancel})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("parallelism %d: want ErrCanceled, got %v", par, err)
+		}
+	}
+}
+
+// A nil token (the default) must leave the search untouched.
+func TestCheckNilCancel(t *testing.T) {
+	res := checkSrc(t, atomicSrc, Options{Cancel: nil})
+	if !res.OK {
+		t.Fatalf("atomic counter should verify: %v", res.Trace)
+	}
+}

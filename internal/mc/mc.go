@@ -43,9 +43,11 @@
 package mc
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 
 	"psketch/internal/desugar"
 	"psketch/internal/interp"
@@ -119,7 +121,16 @@ type Options struct {
 	// Parallelism shards the search across this many worker goroutines
 	// (<= 1, or a set Hook, runs the deterministic sequential DFS).
 	Parallelism int
+	// Cancel, when set and stored true by another goroutine, makes the
+	// search unwind cooperatively; Check then returns ErrCanceled. The
+	// pipelined CEGIS loop uses this to abandon a verification the
+	// speculative solver has already made moot.
+	Cancel *atomic.Bool
 }
+
+// ErrCanceled is returned by Check when Options.Cancel fired before the
+// search finished. A canceled check produced no verdict.
+var ErrCanceled = errors.New("mc: canceled")
 
 // Result is the verifier's verdict.
 type Result struct {
@@ -348,6 +359,9 @@ func (m *checker) done() bool {
 // through other paths, so each (state, transition) pair is explored at
 // most once.
 func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
+	if m.opts.Cancel != nil && m.opts.Cancel.Load() {
+		return ErrCanceled
+	}
 	idx, fresh := m.tab.slot(st.Key())
 	if fresh {
 		m.states++

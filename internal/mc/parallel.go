@@ -133,6 +133,12 @@ func (w *pworker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event) 
 }
 
 func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
+	if w.opts.Cancel != nil && w.opts.Cancel.Load() {
+		// Route through fail so checkParallel reports ErrCanceled (the
+		// partial traces collected so far are not a verdict).
+		w.sh.fail(ErrCanceled)
+		return nil
+	}
 	k := st.Key()
 	fresh, done, pmw := w.sh.visited.arrive(k)
 	if !fresh && pmw&pmaskKnown != 0 && (pmw&^pmaskKnown)&^sleep&^done == 0 {

@@ -1,0 +1,104 @@
+package project
+
+import (
+	"testing"
+
+	"psketch/internal/circuit"
+	"psketch/internal/desugar"
+	"psketch/internal/mc"
+	"psketch/internal/sym"
+)
+
+// The cached encoder must agree with the one-shot Encode on every
+// candidate for every trace: same refutations, same survivors. The two
+// run on separate builders, so agreement is checked semantically via
+// Eval rather than by Lit identity.
+func TestCacheMatchesEncode(t *testing.T) {
+	sk, p, l := pipeline(t, learnSrc, desugar.Options{})
+	bad := make(desugar.Candidate, len(sk.Holes))
+	res, err := mc.Check(l, bad, mc.Options{MaxTraces: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("expected counterexamples")
+	}
+
+	cb := circuit.NewBuilder()
+	cHoles := sym.HoleInputs(cb, sk)
+	cache := NewCache(cb, l, cHoles)
+
+	assign := func(b *circuit.Builder, holes []circuit.Word, c desugar.Candidate) map[circuit.Lit]bool {
+		m := map[circuit.Lit]bool{}
+		for i, w := range holes {
+			for j, lit := range w {
+				m[lit] = (c.Value(i)>>uint(j))&1 == 1
+			}
+		}
+		return m
+	}
+	cands := enumerate(sk)
+	for ti, tr := range res.Traces {
+		entries := Build(p, tr)
+		cFail, err := cache.Encode(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := circuit.NewBuilder()
+		eHoles := sym.HoleInputs(eb, sk)
+		eFail, err := Encode(eb, l, eHoles, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			got := cb.Eval(assign(cb, cHoles, c), cFail)
+			want := eb.Eval(assign(eb, eHoles, c), eFail)
+			if got != want {
+				t.Fatalf("trace %d cand %v: cached=%v encode=%v", ti, c, got, want)
+			}
+		}
+	}
+
+	// Re-encoding the same traces must hit memoized prefixes and give
+	// the identical Lit (same builder, deterministic hash-consing).
+	hits := cache.Hits
+	for _, tr := range res.Traces {
+		entries := Build(p, tr)
+		f1, err := cache.Encode(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := cache.Encode(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 {
+			t.Fatalf("re-encode of identical trace changed the fail lit: %v vs %v", f1, f2)
+		}
+	}
+	if cache.Hits <= hits {
+		t.Fatalf("no cache hits on repeated traces: hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+	if cache.SavedEntries == 0 {
+		t.Fatal("cache hits saved no entries")
+	}
+}
+
+// enumerate lists every candidate of a sketch with only choice/const
+// holes of known width (learnSrc has a single 1-bit choice per Incr).
+func enumerate(sk *desugar.Sketch) []desugar.Candidate {
+	cands := []desugar.Candidate{make(desugar.Candidate, len(sk.Holes))}
+	for i, h := range sk.Holes {
+		n := int64(1) << uint(h.Bits)
+		var next []desugar.Candidate
+		for _, c := range cands {
+			for v := int64(0); v < n; v++ {
+				cc := append(desugar.Candidate(nil), c...)
+				cc[i] = v
+				next = append(next, cc)
+			}
+		}
+		cands = next
+	}
+	return cands
+}

@@ -79,6 +79,107 @@ func Build(p *ir.Program, tr *mc.Trace) []Entry {
 	return out
 }
 
+// encState is the projection-local control state threaded through the
+// entries: the still-following-the-trace literal, per-thread liveness,
+// and the accumulated deadlock condition.
+type encState struct {
+	active       circuit.Lit
+	threadActive map[int]circuit.Lit
+	blockedAll   circuit.Lit
+	anyDeadlock  bool
+}
+
+func newEncState() *encState {
+	return &encState{
+		active:       circuit.True,
+		threadActive: make(map[int]circuit.Lit),
+		blockedAll:   circuit.True,
+	}
+}
+
+func (st *encState) tact(t int) circuit.Lit {
+	if l, ok := st.threadActive[t]; ok {
+		return l
+	}
+	return circuit.True
+}
+
+func (st *encState) clone() *encState {
+	cp := *st
+	cp.threadActive = make(map[int]circuit.Lit, len(st.threadActive))
+	for k, v := range st.threadActive {
+		cp.threadActive[k] = v
+	}
+	return &cp
+}
+
+// applyEntry encodes one projected statement instance, mutating the
+// evaluator and the control state. othersAfter is othersFollow(entries,
+// i) precomputed by the caller (it looks at entries after this one).
+func applyEntry(b *circuit.Builder, e *sym.Evaluator, p *ir.Program, st *encState, en Entry, othersAfter bool) {
+	seq := p.Threads[en.Thread]
+	step := seq.Steps[en.Step]
+	base := b.And(st.active, st.tact(en.Thread))
+	g, c := e.StepParts(seq, step, base)
+	switch {
+	case en.Deadlock:
+		// The thread is stuck here iff it reaches this step (guards
+		// hold) and the condition is false; its remaining steps run
+		// only if it was not stuck.
+		blocked := b.And(g, c.Not())
+		st.blockedAll = b.And(st.blockedAll, blocked)
+		st.anyDeadlock = true
+		st.threadActive[en.Thread] = b.And(st.tact(en.Thread), blocked.Not())
+		g = b.And(g, c)
+	case step.Cond != nil:
+		blocked := b.And(g, c.Not())
+		if othersAfter {
+			// "Some other thread can make progress": the projected
+			// trace diverges here; stop following it (OK).
+			st.active = b.And(st.active, blocked.Not())
+		} else {
+			// No later entry belongs to another thread, so blocking
+			// here is a deadlock — but only if every other thread has
+			// genuinely finished. A thread parked at its own blocked
+			// step (deadlock traces) is not finished: writes executed
+			// after this order diverged may re-enable it, so its
+			// liveness literal must gate the claim. Either way the
+			// projected order stops here — without the deactivation,
+			// later steps of this thread would execute from a state
+			// that skipped the blocked step.
+			dl := blocked
+			for u := range p.Threads {
+				if u != en.Thread {
+					dl = b.And(dl, st.tact(u))
+				}
+			}
+			e.FailIf(dl)
+			st.active = b.And(st.active, blocked.Not())
+		}
+		g = b.And(g, c)
+	}
+	e.ExecStepBody(seq, step, g)
+}
+
+// finishEncode applies the accumulated deadlock constraint and the
+// epilogue, and returns the failure literal.
+func finishEncode(b *circuit.Builder, e *sym.Evaluator, p *ir.Program, st *encState) (circuit.Lit, error) {
+	if st.anyDeadlock {
+		e.FailIf(st.blockedAll)
+	}
+	// The epilogue's correctness checks apply when the trace ran to
+	// completion and no thread is stuck.
+	epiActive := st.active
+	for t := range p.Threads {
+		epiActive = b.And(epiActive, st.tact(t))
+	}
+	e.RunSeq(p.Epilogue, epiActive)
+	if err := e.Err(); err != nil {
+		return circuit.False, err
+	}
+	return e.Fail, nil
+}
+
 // Encode symbolically evaluates the projected trace program over the
 // hole inputs and returns fail(Skt[c]) as a single literal.
 func Encode(b *circuit.Builder, l *state.Layout, holes []circuit.Word, entries []Entry) (circuit.Lit, error) {
@@ -86,63 +187,11 @@ func Encode(b *circuit.Builder, l *state.Layout, holes []circuit.Word, entries [
 	e := sym.New(b, l, holes)
 	e.RunSeq(p.GlobalInit, circuit.True)
 	e.RunSeq(p.Prologue, circuit.True)
-
-	active := circuit.True
-	threadActive := make(map[int]circuit.Lit)
-	tact := func(t int) circuit.Lit {
-		if l, ok := threadActive[t]; ok {
-			return l
-		}
-		return circuit.True
-	}
-	blockedAll := circuit.True
-	anyDeadlock := false
-
+	st := newEncState()
 	for i, en := range entries {
-		seq := p.Threads[en.Thread]
-		step := seq.Steps[en.Step]
-		base := b.And(active, tact(en.Thread))
-		g, c := e.StepParts(seq, step, base)
-		switch {
-		case en.Deadlock:
-			// The thread is stuck here iff it reaches this step (guards
-			// hold) and the condition is false; its remaining steps run
-			// only if it was not stuck.
-			blocked := b.And(g, c.Not())
-			blockedAll = b.And(blockedAll, blocked)
-			anyDeadlock = true
-			threadActive[en.Thread] = b.And(tact(en.Thread), blocked.Not())
-			g = b.And(g, c)
-		case step.Cond != nil:
-			blocked := b.And(g, c.Not())
-			if othersFollow(entries, i) {
-				// "Some other thread can make progress": the projected
-				// trace diverges here; stop following it (OK).
-				active = b.And(active, blocked.Not())
-			} else {
-				// Every other thread has terminated in this order; a
-				// blocked step is a genuine deadlock.
-				e.FailIf(blocked)
-			}
-			g = b.And(g, c)
-		}
-		e.ExecStepBody(seq, step, g)
+		applyEntry(b, e, p, st, en, othersFollow(entries, i))
 	}
-	if anyDeadlock {
-		e.FailIf(blockedAll)
-	}
-
-	// The epilogue's correctness checks apply when the trace ran to
-	// completion and no thread is stuck.
-	epiActive := active
-	for t := range p.Threads {
-		epiActive = b.And(epiActive, tact(t))
-	}
-	e.RunSeq(p.Epilogue, epiActive)
-	if err := e.Err(); err != nil {
-		return circuit.False, err
-	}
-	return e.Fail, nil
+	return finishEncode(b, e, p, st)
 }
 
 // othersFollow reports whether any entry after position i belongs to a

@@ -12,6 +12,8 @@ type WorkerStats struct {
 	Decisions    int64
 	Propagations int64
 	Restarts     int64
+	Exported     int64 // learnt clauses published to the shared pool
+	Imported     int64 // shared clauses adopted from other workers
 }
 
 // Portfolio races N diversified CDCL solvers on the same formula.
@@ -19,6 +21,15 @@ type WorkerStats struct {
 // and the clause set stay aligned; each worker keeps its own learnt
 // clauses, activities and saved phases across Solve calls, which is
 // what makes the portfolio incremental across CEGIS iterations.
+//
+// Workers additionally exchange short, low-LBD learned clauses through
+// a bounded shared pool: a worker exports on learning (under the
+// length/LBD caps of share.go) and imports everyone else's exports at
+// its restart boundaries, so diversified searches stop rediscovering
+// each other's conflicts. Sharing is sound — learned clauses are
+// implied by the common problem clauses alone — and can be disabled
+// with SetSharing(false) for ablation. A 1-worker portfolio never
+// creates a pool.
 //
 // Solve runs every worker in its own goroutine under a shared
 // cancellation token; the first worker to reach a verdict wins, the
@@ -29,12 +40,14 @@ type WorkerStats struct {
 // and the behaviour is bit-for-bit the plain Solver's.
 type Portfolio struct {
 	ws     []*Solver
+	pool   *sharedPool
 	winner int
 	wins   []int64
 }
 
 // NewPortfolio returns a portfolio of n diversified workers (n < 1 is
-// treated as 1). Worker 0 always runs the default configuration.
+// treated as 1) with clause sharing enabled. Worker 0 always runs the
+// default configuration.
 func NewPortfolio(n int) *Portfolio {
 	if n < 1 {
 		n = 1
@@ -43,8 +56,39 @@ func NewPortfolio(n int) *Portfolio {
 	for i := range p.ws {
 		p.ws[i] = NewWith(DiverseConfig(i))
 	}
+	if n > 1 {
+		p.pool = &sharedPool{}
+		for i, w := range p.ws {
+			w.shared, w.sharedID = p.pool, i
+		}
+	}
 	return p
 }
+
+// SetSharing enables or disables the learned-clause pool. Call between
+// Solve calls only. Disabling drops the pool reference but keeps
+// clauses already imported (they are implied, so they stay sound).
+func (p *Portfolio) SetSharing(on bool) {
+	if len(p.ws) == 1 {
+		return
+	}
+	if !on {
+		p.pool = nil
+		for _, w := range p.ws {
+			w.shared = nil
+		}
+		return
+	}
+	if p.pool == nil {
+		p.pool = &sharedPool{}
+	}
+	for i, w := range p.ws {
+		w.shared, w.sharedID = p.pool, i
+	}
+}
+
+// Sharing reports whether the learned-clause pool is active.
+func (p *Portfolio) Sharing() bool { return p.pool != nil }
 
 // NumWorkers returns the portfolio size.
 func (p *Portfolio) NumWorkers() int { return len(p.ws) }
@@ -77,15 +121,45 @@ func (p *Portfolio) AddClause(lits ...Lit) bool {
 	return ok
 }
 
+// AddClauses broadcasts a batch of clauses (flat literals + end
+// offsets) worker-major: each worker consumes the whole batch in order
+// before the next worker starts, so one batch touches each worker's
+// assignment and watch arrays once instead of once per clause. The
+// per-worker clause stream is identical to repeated AddClause calls.
+func (p *Portfolio) AddClauses(lits []Lit, ends []int) bool {
+	ok := true
+	for _, w := range p.ws {
+		if !w.AddClauses(lits, ends) {
+			ok = false
+		}
+	}
+	return ok
+}
+
 // Solve races the workers under the given assumptions. The winning
 // worker's model is the one Value reads afterwards.
 func (p *Portfolio) Solve(assumptions ...Lit) bool {
+	ok, _ := p.SolveCancel(nil, assumptions...)
+	return ok
+}
+
+// SolveCancel is Solve with an external cancellation token: when
+// another goroutine sets cancel, every worker unwinds and SolveCancel
+// returns canceled=true with no verdict (unless some worker had already
+// answered, in which case its verdict stands). The portfolio stays
+// incremental either way. This is how the pipelined CEGIS loop tears
+// down a speculative solve the verifier has made moot.
+func (p *Portfolio) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
 	if len(p.ws) == 1 {
+		ok, canceled := p.ws[0].SolveCancel(cancel, assumptions...)
+		if canceled {
+			return false, true
+		}
 		p.winner = 0
 		p.wins[0]++
-		return p.ws[0].Solve(assumptions...)
+		return ok, false
 	}
-	var cancel atomic.Bool
+	var won atomic.Bool
 	type answer struct {
 		worker int
 		sat    bool
@@ -96,10 +170,10 @@ func (p *Portfolio) Solve(assumptions ...Lit) bool {
 		wg.Add(1)
 		go func(i int, w *Solver) {
 			defer wg.Done()
-			ok, canceled := w.SolveCancel(&cancel, assumptions...)
+			ok, canceled := w.SolveCancel2(&won, cancel, assumptions...)
 			if !canceled {
 				ch <- answer{i, ok}
-				cancel.Store(true)
+				won.Store(true)
 			}
 		}(i, w)
 	}
@@ -107,13 +181,16 @@ func (p *Portfolio) Solve(assumptions ...Lit) bool {
 	// AddClause or re-Solve: the portfolio is quiescent between calls.
 	wg.Wait()
 	close(ch)
-	// At least one answer exists: the token is only set after a send,
-	// so the first finisher is never canceled. The first answer sent is
-	// the race winner.
-	a := <-ch
+	// The race-winner token is only set after a send, so the first
+	// finisher is never canceled by it; the channel is empty only when
+	// the external token canceled every worker first.
+	a, ok := <-ch
+	if !ok {
+		return false, true
+	}
 	p.winner = a.worker
 	p.wins[a.worker]++
-	return a.sat
+	return a.sat, false
 }
 
 // Value returns the winning worker's model value for a variable.
@@ -144,6 +221,8 @@ func (p *Portfolio) WorkerStats() []WorkerStats {
 			Decisions:    w.Stats.Decisions,
 			Propagations: w.Stats.Propagations,
 			Restarts:     w.Stats.Restarts,
+			Exported:     w.Stats.Exported,
+			Imported:     w.Stats.Imported,
 		}
 	}
 	return out

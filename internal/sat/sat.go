@@ -43,6 +43,21 @@ type Adder interface {
 	AddClause(lits ...Lit) bool
 }
 
+// BatchAdder is the bulk-insertion extension of Adder: AddClauses takes
+// many clauses at once as a flat literal slice plus end offsets (clause
+// i is lits[ends[i-1]:ends[i]], with ends[-1] = 0). A Portfolio
+// processes the whole batch worker-major — each worker consumes the
+// clauses in order before the next worker starts — which touches every
+// worker's watch/assignment arrays once per batch instead of once per
+// clause. The per-worker clause stream is identical to repeated
+// AddClause calls, so behaviour (including the -j 1 bit-for-bit
+// contract) is unchanged. Returns false as soon as any insertion
+// reports unsatisfiability.
+type BatchAdder interface {
+	Adder
+	AddClauses(lits []Lit, ends []int) bool
+}
+
 // Config diversifies a solver instance for portfolio solving. The zero
 // value is not meaningful; start from DefaultConfig.
 type Config struct {
@@ -170,6 +185,13 @@ type Solver struct {
 	cfg      Config
 	rngState uint64
 	cancel   *atomic.Bool // read-only here; set by SolveCancel's caller
+	cancel2  *atomic.Bool // second token (portfolio race + external cancel)
+
+	// Clause sharing (portfolio members only; nil otherwise): the pool,
+	// this worker's identity in it, and the fetch cursor.
+	shared      *sharedPool
+	sharedID    int
+	shareCursor uint64
 
 	// Stats counts solver work for the Figure 9 columns.
 	Stats struct {
@@ -179,6 +201,8 @@ type Solver struct {
 		Restarts     int64
 		Learned      int64
 		Reduces      int64
+		Exported     int64 // learnt clauses published to the shared pool
+		Imported     int64 // shared clauses adopted from other workers
 	}
 }
 
@@ -273,6 +297,20 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
+}
+
+// AddClauses adds a batch of clauses (flat literals + end offsets),
+// equivalent to calling AddClause on each in order.
+func (s *Solver) AddClauses(lits []Lit, ends []int) bool {
+	ok := true
+	start := 0
+	for _, end := range ends {
+		if !s.AddClause(lits[start:end]...) {
+			ok = false
+		}
+		start = end
+	}
+	return ok
 }
 
 func (s *Solver) attach(c *clause) {
@@ -566,17 +604,31 @@ func (s *Solver) Solve(assumptions ...Lit) bool {
 // clauses and may be re-solved or extended afterwards. A nil cancel is
 // never checked.
 func (s *Solver) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
+	return s.SolveCancel2(cancel, nil, assumptions...)
+}
+
+// SolveCancel2 is SolveCancel with two independent cancellation tokens
+// (either one stops the search). The portfolio uses this to combine its
+// internal race-winner token with an external caller token without an
+// intermediary goroutine.
+func (s *Solver) SolveCancel2(cancel, cancel2 *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
 	if !s.ok {
 		return false, false
 	}
-	s.cancel = cancel
+	s.cancel, s.cancel2 = cancel, cancel2
 	defer func() {
-		s.cancel = nil
+		s.cancel, s.cancel2 = nil, nil
 		s.backtrackTo(0)
 	}()
 
 	restarts := 0
 	for {
+		// Restart boundaries (and solve entry) are the import points for
+		// pool clauses: the solver is at level 0, so normalization and
+		// unit propagation are valid.
+		if !s.importShared() {
+			return false, false
+		}
 		confl := s.search(int(luby(2, restarts)*float64(s.cfg.LubyUnit)), assumptions)
 		switch confl {
 		case satisfied:
@@ -597,6 +649,90 @@ func (s *Solver) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, canc
 			s.reduceDB()
 		}
 	}
+}
+
+// exportLearnt publishes a freshly learned clause to the shared pool
+// when it passes the length and LBD quality gates.
+func (s *Solver) exportLearnt(learnt []Lit) {
+	if s.shared == nil || len(learnt) > shareMaxLen {
+		return
+	}
+	if s.lbd(learnt) > shareMaxLBD {
+		return
+	}
+	s.shared.publish(s.sharedID, learnt)
+	s.Stats.Exported++
+}
+
+// lbd computes the literal-block distance of a clause: the number of
+// distinct decision levels among its (currently assigned) literals.
+func (s *Solver) lbd(lits []Lit) int {
+	n := 0
+	for i, l := range lits {
+		lv := s.level[l.Var()]
+		dup := false
+		for _, m := range lits[:i] {
+			if s.level[m.Var()] == lv {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// importShared adopts every pool clause published since the last import
+// (skipping this worker's own exports). Must be called at decision
+// level 0. Returns false when an import reveals the formula
+// unsatisfiable.
+func (s *Solver) importShared() bool {
+	if s.shared == nil {
+		return true
+	}
+	cls, next := s.shared.fetch(s.shareCursor, s.sharedID)
+	s.shareCursor = next
+	for _, lits := range cls {
+		if !s.addImported(lits) {
+			s.ok = false
+			return false
+		}
+	}
+	return true
+}
+
+// addImported installs one shared clause as a learnt clause: satisfied
+// clauses are skipped, level-0-false literals dropped, units enqueued
+// and propagated. The clause is implied by the problem clauses (see
+// sharedPool), so all outcomes — including a propagation conflict,
+// which proves UNSAT — are sound.
+func (s *Solver) addImported(lits []Lit) bool {
+	out := s.scratch[:0]
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case lTrue:
+			s.scratch = out
+			return true
+		case lFalse:
+			continue
+		}
+		out = append(out, l)
+	}
+	s.scratch = out
+	s.Stats.Imported++
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		return s.propagate() == nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...), learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	return true
 }
 
 // Conflicts returns the total conflicts seen, for stats reporting.
@@ -655,7 +791,7 @@ const (
 func (s *Solver) search(maxConflicts int, assumptions []Lit) searchResult {
 	conflicts := 0
 	for {
-		if s.cancel != nil && s.cancel.Load() {
+		if (s.cancel != nil && s.cancel.Load()) || (s.cancel2 != nil && s.cancel2.Load()) {
 			return canceledRes
 		}
 		confl := s.propagate()
@@ -667,6 +803,9 @@ func (s *Solver) search(maxConflicts int, assumptions []Lit) searchResult {
 				return unsatisfiable
 			}
 			learnt, btLevel := s.analyze(confl)
+			// Export before backtracking: the LBD quality gate needs the
+			// decision levels the literals were learned at.
+			s.exportLearnt(learnt)
 			// Backtracking may drop below the assumption levels; the
 			// no-conflict branch re-establishes assumptions and reports
 			// UNSAT if one has become false.

@@ -1,0 +1,87 @@
+package sketches
+
+import (
+	"testing"
+
+	"psketch/internal/circuit"
+	"psketch/internal/desugar"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/project"
+	"psketch/internal/state"
+	"psketch/internal/sym"
+)
+
+// Projection soundness under deadlock traces: no counterexample trace
+// for a wrong candidate may project to a constraint that excludes a
+// known-correct one. The parallel model checker surfaces deadlock
+// traces (rather than the sequential DFS's assertion failures)
+// nondeterministically, which is exactly the shape that once tripped
+// the encoding — a thread parked at its blocked step is not finished,
+// so another thread blocking later in the projected order is not
+// automatically a deadlock. Regression test for the fineset1/barrier2
+// false-NO verdicts.
+func TestProjectionSoundOnDeadlockTraces(t *testing.T) {
+	b := FineSet1()
+	test := "ar(ar|ar)"
+	sk := compile(t, b, test)
+	prog, err := ir.Lower(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := state.NewLayout(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hand-over-hand locking completion (verified below).
+	good := desugar.Candidate{3, 2, 0, 1, 3, 4}
+	if res := mcCheck(t, l, good, mc.Options{}); !res.OK {
+		t.Fatalf("good candidate no longer verifies: %s", res.Trace)
+	}
+	// Wrong completions one hole away from good, plus all-zero: their
+	// counterexamples include lock-cycle deadlocks.
+	bads := []desugar.Candidate{
+		{0, 0, 0, 0, 0, 0},
+		{2, 2, 0, 1, 3, 4},
+		{3, 1, 0, 1, 3, 4},
+		{3, 2, 0, 0, 3, 4},
+		{3, 2, 0, 1, 3, 0},
+	}
+	runs := 20
+	if testing.Short() {
+		runs = 4
+	}
+	deadlocks := 0
+	for run := 0; run < runs; run++ {
+		for _, bad := range bads {
+			res := mcCheck(t, l, bad, mc.Options{Parallelism: 4})
+			if res.OK {
+				continue // also a correct completion — nothing to project
+			}
+			for _, tr := range res.Traces {
+				if len(tr.Deadlocked) > 0 {
+					deadlocks++
+				}
+				entries := project.Build(prog, tr)
+				cb := circuit.NewBuilder()
+				holes := sym.HoleInputs(cb, sk)
+				fail, err := project.Encode(cb, l, holes, entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				asn := map[circuit.Lit]bool{}
+				for i, w := range holes {
+					for j, lit := range w {
+						asn[lit] = (good.Value(i)>>uint(j))&1 == 1
+					}
+				}
+				if cb.Eval(asn, fail) {
+					t.Fatalf("projection of trace for %v refutes the good candidate: %s",
+						bad, tr)
+				}
+			}
+		}
+	}
+	t.Logf("checked %d runs × %d candidates (%d deadlock traces), all projections sound",
+		runs, len(bads), deadlocks)
+}

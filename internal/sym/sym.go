@@ -76,6 +76,34 @@ func HoleConsts(sk *desugar.Sketch, cand desugar.Candidate) []circuit.Word {
 // Err returns the structural error encountered, if any.
 func (e *Evaluator) Err() error { return e.err }
 
+// Snapshot is a saved copy of the symbolic machine state (cells, Fail,
+// structural error). Words are immutable once stored in a cell — writes
+// replace whole slices via MuxW — so a shallow copy of the cell array
+// captures the state exactly.
+type Snapshot struct {
+	cells []circuit.Word
+	fail  circuit.Lit
+	err   error
+}
+
+// Snapshot captures the current machine state.
+func (e *Evaluator) Snapshot() Snapshot {
+	return Snapshot{
+		cells: append([]circuit.Word(nil), e.cells...),
+		fail:  e.Fail,
+		err:   e.err,
+	}
+}
+
+// Restore rewinds the machine to a snapshot taken on an evaluator with
+// the same layout. Because the builder is hash-consed, re-running the
+// same steps from a restored state rebuilds bit-identical literals.
+func (e *Evaluator) Restore(s Snapshot) {
+	copy(e.cells, s.cells)
+	e.Fail = s.fail
+	e.err = s.err
+}
+
 func (e *Evaluator) fail(g circuit.Lit, cond circuit.Lit) {
 	e.Fail = e.B.Or(e.Fail, e.B.And(g, cond))
 }

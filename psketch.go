@@ -24,6 +24,7 @@ package psketch
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"psketch/internal/core"
 	"psketch/internal/desugar"
@@ -72,6 +73,16 @@ type Options struct {
 	// reduction (on by default; see ARCHITECTURE.md for the reduction
 	// knobs and their soundness cross-checks).
 	NoPOR bool
+	// NoPipeline disables the speculative solve/verify overlap of the
+	// concurrent CEGIS engine (on by default at Parallelism > 1).
+	NoPipeline bool
+	// NoShareClauses disables learned-clause exchange between the SAT
+	// portfolio's workers (on by default at Parallelism > 1).
+	NoShareClauses bool
+	// Cancel, when set and stored true by another goroutine, aborts
+	// Synthesize and ModelCheck cooperatively (solves and searches
+	// unwind, workers are joined, and an error is returned).
+	Cancel *atomic.Bool
 	// Verbose receives progress lines when non-nil.
 	Verbose func(format string, args ...any)
 }
@@ -89,6 +100,20 @@ func (o Options) desugarOpts() desugar.Options {
 // Stats reports the work done by a synthesis run (the Figure 9
 // columns).
 type Stats = core.Stats
+
+func (s *Sketch) coreOpts() core.Options {
+	return core.Options{
+		MaxIterations:      s.opts.MaxIterations,
+		MCMaxStates:        s.opts.MCMaxStates,
+		TracesPerIteration: s.opts.TracesPerIteration,
+		Parallelism:        s.opts.Parallelism,
+		NoPOR:              s.opts.NoPOR,
+		NoPipeline:         s.opts.NoPipeline,
+		NoShareClauses:     s.opts.NoShareClauses,
+		Cancel:             s.opts.Cancel,
+		Verbose:            s.opts.Verbose,
+	}
+}
 
 // Candidate is a concrete assignment to every hole of a sketch.
 type Candidate = desugar.Candidate
@@ -137,14 +162,7 @@ type Result struct {
 
 // Synthesize runs CEGIS on a compiled sketch.
 func (s *Sketch) Synthesize() (*Result, error) {
-	syn, err := core.New(s.sk, core.Options{
-		MaxIterations:      s.opts.MaxIterations,
-		MCMaxStates:        s.opts.MCMaxStates,
-		TracesPerIteration: s.opts.TracesPerIteration,
-		Parallelism:        s.opts.Parallelism,
-		NoPOR:              s.opts.NoPOR,
-		Verbose:            s.opts.Verbose,
-	})
+	syn, err := core.New(s.sk, s.coreOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +209,7 @@ func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err
 	}
 	res, err := mc.Check(layout, cand, mc.Options{
 		MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism, NoPOR: s.opts.NoPOR,
+		Cancel: s.opts.Cancel,
 	})
 	if err != nil {
 		return false, "", err
@@ -240,14 +259,7 @@ func DetectTarget(src string) (string, error) {
 // sketch (the §8.3.1 autotuning hook: synthesize many candidates, then
 // pick the best by measurement).
 func (s *Sketch) Enumerate(max int) ([]*Result, error) {
-	syn, err := core.New(s.sk, core.Options{
-		MaxIterations:      s.opts.MaxIterations,
-		MCMaxStates:        s.opts.MCMaxStates,
-		TracesPerIteration: s.opts.TracesPerIteration,
-		Parallelism:        s.opts.Parallelism,
-		NoPOR:              s.opts.NoPOR,
-		Verbose:            s.opts.Verbose,
-	})
+	syn, err := core.New(s.sk, s.coreOpts())
 	if err != nil {
 		return nil, err
 	}
