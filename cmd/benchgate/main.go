@@ -1,0 +1,64 @@
+// Command benchgate is the CI benchmark regression gate: it compares
+// a freshly measured pskbench -json report against a checked-in
+// baseline and exits non-zero on a regression.
+//
+//	pskbench -fig9 -filter queueE1 -json new.json
+//	benchgate -baseline BENCH_pr3.json -candidate new.json
+//
+// Verdict changes (a test resolving where the baseline said NO, or
+// vice versa) and rows that error fail outright. Wall-clock fails
+// only past -tolerance x the baseline and above the -min-ms noise
+// floor, so shared CI runners don't flake the gate. Configuration
+// skew between the two reports (parallelism, host, proof replay) is
+// printed as warnings — and with -strict-config also fails the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psketch/internal/bench"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_pr3.json", "baseline report (checked-in)")
+		candidate = flag.String("candidate", "", "candidate report to gate (required)")
+		tolerance = flag.Float64("tolerance", 3.0, "max candidate/baseline wall-clock ratio")
+		minMS     = flag.Float64("min-ms", 250, "noise floor: rows faster than this are not timed")
+		strict    = flag.Bool("strict-config", false, "treat configuration-skew warnings as failures")
+	)
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := os.ReadFile(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	g, err := bench.Gate(base, cand, bench.GateOptions{Tolerance: *tolerance, MinMS: *minMS})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	for _, w := range g.Warnings {
+		fmt.Printf("WARN  %s\n", w)
+	}
+	for _, f := range g.Failures {
+		fmt.Printf("FAIL  %s\n", f)
+	}
+	fmt.Printf("benchgate: %d row(s) compared, %d failure(s), %d warning(s)\n",
+		g.Compared, len(g.Failures), len(g.Warnings))
+	if !g.OK() || (*strict && len(g.Warnings) > 0) {
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		noPOR      = flag.Bool("nopor", false, "disable the verifier's partial-order reduction (ablation)")
 		pipeline   = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
 		share      = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
+		proof      = flag.Bool("proofcheck", false, "log DRAT proofs and replay every UNSAT verdict through the backward checker")
 		jsonOut    = flag.String("json", "", "write the measured Figure 9 rows to this file as JSON")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -72,7 +73,7 @@ func main() {
 	opts := bench.Options{
 		Filter: *filter, Timeout: *timeout, IncludeExtras: *extras,
 		TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR,
-		NoPipeline: !*pipeline, NoShareClauses: !*share,
+		NoPipeline: !*pipeline, NoShareClauses: !*share, Proof: *proof,
 	}
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {

@@ -34,6 +34,7 @@ func main() {
 		par       = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (1 = deterministic)")
 		pipeline  = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
 		share     = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
+		proof     = flag.Bool("proofcheck", false, "log DRAT proofs and replay every UNSAT verdict through the backward checker")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,6 +56,7 @@ func main() {
 		Parallelism:        *par,
 		NoPipeline:         !*pipeline,
 		NoShareClauses:     !*share,
+		Proof:              *proof,
 	}
 	if *quadratic {
 		opts.Encoding = psketch.EncodeQuadratic
@@ -110,6 +112,10 @@ func main() {
 	}
 	if !res.Resolved {
 		fmt.Println("NO — the sketch cannot be resolved")
+		if res.Certificate != nil {
+			fmt.Printf("// DRAT-certified: %d premises, %d lemmas replayed\n",
+				res.Certificate.NumPremises(), res.Certificate.NumLemmas())
+		}
 		os.Exit(2)
 	}
 	fmt.Printf("// resolved in %d iteration(s), %v\n\n", res.Stats.Iterations, res.Stats.Total.Round(1000000))

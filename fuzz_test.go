@@ -1,0 +1,510 @@
+package psketch
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"psketch/internal/circuit"
+	"psketch/internal/desugar"
+	"psketch/internal/drat"
+	"psketch/internal/ir"
+	"psketch/internal/mc"
+	"psketch/internal/oracle"
+	"psketch/internal/parser"
+	"psketch/internal/project"
+	"psketch/internal/sat"
+	"psketch/internal/sketches"
+	"psketch/internal/state"
+	"psketch/internal/sym"
+)
+
+// Seed sketches for FuzzParse, covering every Table 1 construct: holes,
+// generators, reorder, fork, atomics (plain, conditional, lock sugar),
+// and #define. The same sources are checked in under
+// testdata/fuzz/FuzzParse/.
+var parseSeeds = []string{
+	`
+int g = 0;
+harness void M() {
+	fork (i; 2) {
+		atomic { g = g + ??(2); }
+	}
+	assert g == 2;
+}
+`,
+	`
+#define N 2
+int c = 0;
+harness void M() {
+	fork (i; N) {
+		atomic (c == i) { c = c + 1; }
+	}
+	assert c == N;
+}
+`,
+	`
+int a = 0;
+int b = 0;
+harness void M() {
+	fork (i; 2) {
+		reorder {
+			a = a + 1;
+			b = {| a | a + 1 | 0 |};
+		}
+	}
+}
+`,
+	`
+struct Node { int val; Node next; }
+int g = 0;
+harness void M() {
+	fork (i; 2) {
+		if ({| true | false |}) {
+			int t = g;
+			t = t + 1;
+			g = t;
+		} else {
+			atomic { g = g + 1; }
+		}
+	}
+	assert g == 2;
+}
+`,
+	`
+int l = 0;
+int x = 0;
+harness void M() {
+	fork (i; 2) {
+		lock(l);
+		x = x + 1;
+		unlock(l);
+	}
+	assert x == 2;
+}
+`,
+	`
+int spec(int x) { return 3 * x + 5; }
+int f(int x) implements spec { return ??(2) * x + ??(3); }
+`,
+}
+
+// FuzzParse feeds arbitrary source through the whole compilation front
+// half: parse, desugar each synthesis target, lower to the step IR and
+// lay out the state vector. Nothing may panic or hang; errors are the
+// expected outcome for malformed inputs.
+func FuzzParse(f *testing.F) {
+	for _, s := range parseSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		// Loop unrolling multiplies body size per nesting level; deeply
+		// nested loops are a size bomb, not a parser bug.
+		if strings.Count(src, "while")+strings.Count(src, "repeat") > 6 {
+			return
+		}
+		opts := desugar.Options{IntWidth: 4, HoleWidth: 2, LoopBound: 2, MaxRepeat: 3}.Defaults()
+		for _, fn := range prog.Funcs {
+			if !fn.Harness && fn.Implements == "" {
+				continue
+			}
+			// Desugar mutates nothing it shouldn't, but reparse per
+			// target so each run starts from a pristine AST.
+			p2, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("reparse of accepted input failed: %v", err)
+			}
+			sk, err := desugar.Desugar(p2, fn.Name, opts)
+			if err != nil {
+				continue
+			}
+			ir2, err := ir.Lower(sk)
+			if err != nil {
+				continue
+			}
+			if _, err := state.NewLayout(ir2); err != nil {
+				continue
+			}
+		}
+	})
+}
+
+// decodeCNF maps fuzz bytes onto a small CNF: byte 0 sets the variable
+// count, a zero byte ends a clause, any other byte is a literal.
+func decodeCNF(data []byte) (nv int, clauses [][]sat.Lit) {
+	if len(data) == 0 {
+		return 2, nil
+	}
+	nv = 2 + int(data[0]%7)
+	var cur []sat.Lit
+	for _, b := range data[1:] {
+		if len(clauses) >= 48 {
+			break
+		}
+		if b == 0 {
+			clauses = append(clauses, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, sat.MkLit(int(b>>1)%nv, b&1 == 1))
+	}
+	if len(cur) > 0 {
+		clauses = append(clauses, cur)
+	}
+	return nv, clauses
+}
+
+// bruteCNF decides satisfiability by model enumeration (nv <= 8 here).
+func bruteCNF(nv int, clauses [][]sat.Lit) bool {
+	for m := 0; m < 1<<uint(nv); m++ {
+		ok := true
+		for _, c := range clauses {
+			if len(c) == 0 {
+				return false
+			}
+			good := false
+			for _, l := range c {
+				if (m>>uint(l.Var()))&1 == 1 != l.Neg() {
+					good = true
+					break
+				}
+			}
+			if !good {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzCNF cross-checks the CDCL solver and the racing portfolio
+// against model enumeration on arbitrary small CNFs, and replays every
+// UNSAT verdict through the DRAT checker.
+func FuzzCNF(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 3, 0, 5, 0, 4, 0})             // tiny UNSAT-ish
+	f.Add([]byte{0})                                     // empty formula
+	f.Add([]byte{6, 2, 4, 0, 3, 5, 0, 7, 9, 0})          // 3 clauses, 4 vars
+	f.Add([]byte{8, 2, 0, 2, 0})                         // duplicate units
+	f.Add([]byte{4, 2, 3, 0, 4, 5, 0, 2, 5, 0, 3, 4, 0}) // 2-var square
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("oversized input")
+		}
+		nv, clauses := decodeCNF(data)
+		want := bruteCNF(nv, clauses)
+
+		s := sat.New()
+		r := drat.NewRecorder()
+		s.SetProof(r)
+		p := sat.NewPortfolio(3)
+		pr := drat.NewRecorder()
+		p.SetProof(pr)
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+			p.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+			p.AddClause(c...)
+		}
+		if got := s.Solve(); got != want {
+			t.Fatalf("solver says %v, enumeration says %v (nv=%d clauses=%v)", got, want, nv, clauses)
+		}
+		if got := p.Solve(); got != want {
+			t.Fatalf("portfolio says %v, enumeration says %v (nv=%d clauses=%v)", got, want, nv, clauses)
+		}
+		if !want {
+			if _, err := r.Certificate(nil).Verify(); err != nil {
+				t.Fatalf("solo UNSAT certificate rejected: %v", err)
+			}
+			if _, err := pr.Certificate(nil).Verify(); err != nil {
+				t.Fatalf("portfolio UNSAT certificate rejected: %v", err)
+			}
+		}
+	})
+}
+
+// projFix holds the once-compiled projection fuzz instance: the
+// queueE1 sketch (4 candidates) and, per candidate, the reference
+// checker's ground-truth verdict.
+type projFix struct {
+	sk     *desugar.Sketch
+	prog   *ir.Program
+	layout *state.Layout
+	truth  [4]bool
+	err    error
+}
+
+var (
+	projOnce sync.Once
+	projF    projFix
+)
+
+func projFixture() *projFix {
+	projOnce.Do(func() {
+		b := sketches.QueueE1()
+		src, err := b.Source("ed(ed|ed)")
+		if err != nil {
+			projF.err = err
+			return
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			projF.err = err
+			return
+		}
+		sk, err := desugar.Desugar(prog, "Main", b.Opts("ed(ed|ed)"))
+		if err != nil {
+			projF.err = err
+			return
+		}
+		lowered, err := ir.Lower(sk)
+		if err != nil {
+			projF.err = err
+			return
+		}
+		layout, err := state.NewLayout(lowered)
+		if err != nil {
+			projF.err = err
+			return
+		}
+		projF.sk, projF.prog, projF.layout = sk, lowered, layout
+		for c := 0; c < 4; c++ {
+			cand := desugar.Candidate{int64(c & 1), int64(c >> 1)}
+			v, err := oracle.CheckExhaustive(layout, cand, 0)
+			if err != nil {
+				projF.err = err
+				return
+			}
+			projF.truth[c] = v.OK
+		}
+	})
+	return &projF
+}
+
+// FuzzProjection drives the model checker over the queueE1 candidate
+// space under fuzz-chosen engine configurations and holds every trace
+// projection to its contract: the entry list satisfies the structural
+// invariants, and no projected constraint refutes a candidate the
+// exhaustive reference checker proved correct (the PR 3 soundness-bug
+// class).
+func FuzzProjection(f *testing.F) {
+	f.Add(byte(1), byte(1), false, false)
+	f.Add(byte(2), byte(4), true, true)
+	f.Add(byte(3), byte(2), true, false)
+	f.Add(byte(0), byte(3), false, true)
+	f.Fuzz(func(t *testing.T, candByte, tracesByte byte, noPOR, noFusion bool) {
+		fix := projFixture()
+		if fix.err != nil {
+			t.Fatal(fix.err)
+		}
+		ci := int(candByte % 4)
+		cand := desugar.Candidate{int64(ci & 1), int64(ci >> 1)}
+		res, err := mc.Check(fix.layout, cand, mc.Options{
+			MaxTraces:     1 + int(tracesByte%4),
+			NoPOR:         noPOR,
+			NoLocalFusion: noFusion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK != fix.truth[ci] {
+			t.Fatalf("mc verdict %v for candidate %v, reference says %v", res.OK, cand, fix.truth[ci])
+		}
+		if res.OK {
+			return
+		}
+		b := circuit.NewBuilder()
+		holes := sym.HoleInputs(b, fix.sk)
+		assign := func(c desugar.Candidate) map[circuit.Lit]bool {
+			m := map[circuit.Lit]bool{}
+			for i, w := range holes {
+				for j, lit := range w {
+					m[lit] = (c.Value(i)>>uint(j))&1 == 1
+				}
+			}
+			return m
+		}
+		for _, tr := range res.Traces {
+			entries := project.Build(fix.prog, tr)
+			if err := project.Validate(fix.prog, entries); err != nil {
+				t.Fatalf("projection invariant broken: %v", err)
+			}
+			fail, err := project.Encode(b, fix.layout, holes, entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := 0; g < 4; g++ {
+				if !fix.truth[g] {
+					continue
+				}
+				good := desugar.Candidate{int64(g & 1), int64(g >> 1)}
+				if b.Eval(assign(good), fail) {
+					t.Fatalf("projection of %v's trace refutes the verified candidate %v", cand, good)
+				}
+			}
+		}
+	})
+}
+
+// The differential mini-corpus for FuzzMCvsReference: small concurrent
+// sketches with holes, blocking conditions, and a deadlock.
+var diffSrcs = []string{
+	`
+int g = 0;
+harness void M() {
+	fork (i; 2) {
+		if ({| true | false |}) {
+			int t = g;
+			t = t + 1;
+			g = t;
+		} else {
+			atomic { g = g + 1; }
+		}
+	}
+	assert g == 2;
+}
+`,
+	`
+int g = 0;
+harness void M() {
+	fork (i; 2) {
+		atomic { g = g + ??(2); }
+	}
+	assert g == 6;
+}
+`,
+	`
+int turn = 0;
+int done = 0;
+harness void M() {
+	fork (i; 2) {
+		atomic (turn == i) { turn = turn + 1; done = done + 1; }
+	}
+	assert done == 2;
+}
+`,
+	`
+int a = 0;
+harness void M() {
+	fork (i; 2) {
+		atomic (a == i + 5) { a = 0; }
+	}
+}
+`,
+}
+
+type diffProg struct {
+	layout *state.Layout
+	dims   []int64
+}
+
+var (
+	diffOnce  sync.Once
+	diffProgs []diffProg
+	diffErr   error
+
+	diffMu    sync.Mutex
+	diffTruth = map[[2]int64]bool{}
+)
+
+func diffFixture() ([]diffProg, error) {
+	diffOnce.Do(func() {
+		for _, src := range diffSrcs {
+			prog, err := parser.Parse(src)
+			if err != nil {
+				diffErr = err
+				return
+			}
+			sk, err := desugar.Desugar(prog, "M", desugar.Options{})
+			if err != nil {
+				diffErr = err
+				return
+			}
+			lowered, err := ir.Lower(sk)
+			if err != nil {
+				diffErr = err
+				return
+			}
+			layout, err := state.NewLayout(lowered)
+			if err != nil {
+				diffErr = err
+				return
+			}
+			dims := make([]int64, len(sk.Holes))
+			for i, h := range sk.Holes {
+				if h.Kind == desugar.HoleChoice {
+					dims[i] = int64(h.Choices)
+				} else {
+					dims[i] = int64(1) << uint(h.Bits)
+				}
+			}
+			diffProgs = append(diffProgs, diffProg{layout: layout, dims: dims})
+		}
+	})
+	return diffProgs, diffErr
+}
+
+// FuzzMCvsReference races the optimized model checker — under a
+// fuzz-chosen mix of POR, local fusion, and parallel sharding —
+// against the naive exhaustive checker on small candidate programs.
+// Verdicts must agree exactly.
+func FuzzMCvsReference(f *testing.F) {
+	f.Add(byte(0), byte(0), false, false, byte(1))
+	f.Add(byte(1), byte(3), true, false, byte(4))
+	f.Add(byte(2), byte(0), false, true, byte(2))
+	f.Add(byte(3), byte(1), true, true, byte(1))
+	f.Fuzz(func(t *testing.T, progByte, candByte byte, noPOR, noFusion bool, parByte byte) {
+		progs, err := diffFixture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := int(progByte) % len(progs)
+		p := progs[pi]
+		var cand desugar.Candidate
+		rem := int64(candByte)
+		for _, d := range p.dims {
+			cand = append(cand, rem%d)
+			rem /= d
+		}
+
+		key := [2]int64{int64(pi), int64(candByte)}
+		diffMu.Lock()
+		want, seen := diffTruth[key]
+		diffMu.Unlock()
+		if !seen {
+			v, err := oracle.CheckExhaustive(p.layout, cand, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = v.OK
+			diffMu.Lock()
+			diffTruth[key] = want
+			diffMu.Unlock()
+		}
+
+		res, err := mc.Check(p.layout, cand, mc.Options{
+			NoPOR:         noPOR,
+			NoLocalFusion: noFusion,
+			Parallelism:   1 + int(parByte%4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK != want {
+			t.Fatalf("mc (por=%v fusion=%v par=%d) says %v on prog %d cand %v, reference says %v",
+				!noPOR, !noFusion, 1+int(parByte%4), res.OK, pi, cand, want)
+		}
+	})
+}

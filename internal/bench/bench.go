@@ -51,6 +51,11 @@ type Row struct {
 	ProjHits    int64
 	ProjMisses  int64
 	ProjSaved   int64
+	// Proof columns (zero unless Options.Proof): lemmas recorded,
+	// lemmas RUP-checked, and total replay wall time.
+	ProofLemmas  int
+	ProofChecked int
+	ProofCheck   time.Duration
 }
 
 // Options configure a benchmark sweep.
@@ -82,6 +87,9 @@ type Options struct {
 	NoPipeline bool
 	// NoShareClauses disables portfolio clause sharing (ablation).
 	NoShareClauses bool
+	// Proof replays every committed UNSAT verdict through the DRAT
+	// backward checker (overhead measurement; off by default).
+	Proof bool
 }
 
 // logBig computes log10 of a big integer.
@@ -128,6 +136,7 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		NoPOR:              opts.NoPOR,
 		NoPipeline:         opts.NoPipeline,
 		NoShareClauses:     opts.NoShareClauses,
+		Proof:              opts.Proof,
 		Cancel:             &cancel,
 	})
 	if err != nil {
@@ -189,6 +198,9 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	row.ProjHits = res.Stats.ProjHits
 	row.ProjMisses = res.Stats.ProjMisses
 	row.ProjSaved = res.Stats.ProjSaved
+	row.ProofLemmas = res.Stats.ProofLemmas
+	row.ProofChecked = res.Stats.ProofChecked
+	row.ProofCheck = res.Stats.ProofCheck
 	return row
 }
 

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// GateOptions tune the benchmark regression gate.
+type GateOptions struct {
+	// Tolerance is the maximum allowed candidate/baseline wall-clock
+	// ratio per row (0 = default 3.0). CI runners are noisy and share
+	// cores, so this is deliberately loose: the gate exists to catch
+	// order-of-magnitude regressions and verdict flips, not 10% drift.
+	Tolerance float64
+	// MinMS is the noise floor in milliseconds (0 = default 250).
+	// A row is only timed against the baseline when at least one side
+	// took this long — sub-floor rows are dominated by scheduler and
+	// allocator noise at any tolerance.
+	MinMS float64
+}
+
+func (o GateOptions) tolerance() float64 {
+	if o.Tolerance <= 0 {
+		return 3.0
+	}
+	return o.Tolerance
+}
+
+func (o GateOptions) minMS() float64 {
+	if o.MinMS <= 0 {
+		return 250
+	}
+	return o.MinMS
+}
+
+// GateResult is the outcome of comparing a candidate report against a
+// baseline: hard failures (verdict flips, new errors, missing rows,
+// out-of-tolerance slowdowns), advisory warnings (configuration skew
+// that makes the timing comparison apples-to-oranges), and how many
+// rows were actually compared.
+type GateResult struct {
+	Failures []string
+	Warnings []string
+	Compared int
+}
+
+// OK reports whether the gate passed.
+func (g *GateResult) OK() bool { return len(g.Failures) == 0 }
+
+func (g *GateResult) failf(format string, args ...any) {
+	g.Failures = append(g.Failures, fmt.Sprintf(format, args...))
+}
+
+func (g *GateResult) warnf(format string, args ...any) {
+	g.Warnings = append(g.Warnings, fmt.Sprintf(format, args...))
+}
+
+// Gate compares a candidate pskbench -json report against a baseline
+// one. Verdict disagreements — a row resolving where the baseline (or
+// the benchmark's own expectation) said NO, or vice versa — and rows
+// erroring where the baseline succeeded fail outright regardless of
+// timing. Wall-clock is gated at Tolerance x above the noise floor.
+//
+// The candidate is allowed to be a subset sweep (pskbench -filter):
+// baseline rows with no candidate counterpart only fail the gate when
+// the candidate ran unfiltered. Rows new in the candidate are checked
+// against their own Expected verdict but have no timing baseline.
+//
+// Configuration skew (different parallelism, pipeline, clause
+// sharing, POR, traces, or host) demotes nothing to a failure but is
+// surfaced as warnings, since the timing comparison is then
+// unreliable. Header fields absent from an older baseline (host
+// info, proof flag) are treated as unknown, not as a mismatch.
+func Gate(baseline, candidate []byte, o GateOptions) (*GateResult, error) {
+	var base, cand jsonReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("gate: parsing baseline: %w", err)
+	}
+	if err := json.Unmarshal(candidate, &cand); err != nil {
+		return nil, fmt.Errorf("gate: parsing candidate: %w", err)
+	}
+	g := &GateResult{}
+	compareOptions(g, base.Options, cand.Options)
+
+	byKey := make(map[string]jsonRow, len(base.Rows))
+	for _, r := range base.Rows {
+		byKey[r.Bench+"/"+r.Test] = r
+	}
+	seen := make(map[string]bool, len(cand.Rows))
+	for _, cr := range cand.Rows {
+		key := cr.Bench + "/" + cr.Test
+		seen[key] = true
+		if cr.Error != "" {
+			g.failf("%s: errored: %s", key, cr.Error)
+			continue
+		}
+		if cr.Resolved != cr.Expected {
+			g.failf("%s: resolved=%v but the benchmark expects %v", key, cr.Resolved, cr.Expected)
+			continue
+		}
+		br, ok := byKey[key]
+		if !ok {
+			g.warnf("%s: not in baseline (new row, no timing reference)", key)
+			continue
+		}
+		g.Compared++
+		if br.Error == "" && cr.Resolved != br.Resolved {
+			g.failf("%s: resolved=%v, baseline resolved=%v", key, cr.Resolved, br.Resolved)
+			continue
+		}
+		tol, floor := o.tolerance(), o.minMS()
+		if cr.TotalMS > floor && cr.TotalMS > tol*br.TotalMS {
+			g.failf("%s: %.0fms vs baseline %.0fms (%.1fx > %.1fx tolerance)",
+				key, cr.TotalMS, br.TotalMS, cr.TotalMS/br.TotalMS, tol)
+		}
+	}
+	if cand.Options.Filter == "" {
+		var missing []string
+		for key, br := range byKey {
+			if !seen[key] && br.Error == "" {
+				missing = append(missing, key)
+			}
+		}
+		sort.Strings(missing)
+		for _, key := range missing {
+			g.failf("%s: in baseline but missing from candidate", key)
+		}
+	}
+	return g, nil
+}
+
+// compareOptions flags engine-configuration skew between the two
+// reports. Zero-valued fields on either side (older reports predate
+// the host header) mean "unknown" and are skipped.
+func compareOptions(g *GateResult, b, c jsonOptions) {
+	if b.Parallelism != c.Parallelism {
+		g.warnf("config: parallelism %d vs baseline %d — timings not comparable", c.Parallelism, b.Parallelism)
+	}
+	if b.Pipeline != c.Pipeline {
+		g.warnf("config: pipeline %v vs baseline %v", c.Pipeline, b.Pipeline)
+	}
+	if b.ShareClauses != c.ShareClauses {
+		g.warnf("config: share_clauses %v vs baseline %v", c.ShareClauses, b.ShareClauses)
+	}
+	if b.POR != c.POR {
+		g.warnf("config: por %v vs baseline %v", c.POR, b.POR)
+	}
+	if b.TracesPerIteration != c.TracesPerIteration {
+		g.warnf("config: traces_per_iteration %d vs baseline %d", c.TracesPerIteration, b.TracesPerIteration)
+	}
+	if c.Proof && !b.Proof {
+		g.warnf("config: candidate ran with proof replay on, baseline without — expect overhead")
+	}
+	if b.GoVersion != "" && c.GoVersion != "" && b.GoVersion != c.GoVersion {
+		g.warnf("config: %s vs baseline %s", c.GoVersion, b.GoVersion)
+	}
+	if b.GOARCH != "" && c.GOARCH != "" && b.GOARCH != c.GOARCH {
+		g.warnf("config: %s/%s vs baseline %s/%s", c.GOOS, c.GOARCH, b.GOOS, b.GOARCH)
+	}
+	if b.NumCPU != 0 && c.NumCPU != 0 && b.NumCPU != c.NumCPU {
+		g.warnf("config: %d CPUs vs baseline %d — timings not comparable", c.NumCPU, b.NumCPU)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"time"
 
 	"psketch/internal/sat"
@@ -45,20 +46,42 @@ type jsonRow struct {
 	ProjHits    int64   `json:"proj_hits"`
 	ProjMisses  int64   `json:"proj_misses"`
 	ProjSaved   int64   `json:"proj_saved_entries"`
+
+	ProofLemmas  int     `json:"proof_lemmas,omitempty"`
+	ProofChecked int     `json:"proof_checked,omitempty"`
+	ProofCheckMS float64 `json:"proof_check_ms,omitempty"`
+}
+
+// jsonOptions is the engine + host configuration header of a report.
+// A benchmark number is only comparable against another run under the
+// same configuration, so everything that shapes the measurement is
+// recorded here: engine knobs (parallelism, pipeline, clause sharing,
+// POR, proof replay, verifier budget) and the host the run was taken
+// on. The host fields use omitempty so reports written before they
+// existed (BENCH_pr3.json) still round-trip; readers treat an absent
+// field as "unknown", not as a mismatch.
+type jsonOptions struct {
+	Parallelism        int    `json:"parallelism"`
+	Pipeline           bool   `json:"pipeline"`
+	ShareClauses       bool   `json:"share_clauses"`
+	POR                bool   `json:"por"`
+	TracesPerIteration int    `json:"traces_per_iteration"`
+	TimeoutMS          int64  `json:"timeout_ms"`
+	Filter             string `json:"filter,omitempty"`
+
+	MCMaxStates int    `json:"mc_max_states,omitempty"`
+	Proof       bool   `json:"proof,omitempty"`
+	GoVersion   string `json:"go_version,omitempty"`
+	GOOS        string `json:"goos,omitempty"`
+	GOARCH      string `json:"goarch,omitempty"`
+	NumCPU      int    `json:"num_cpu,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
 }
 
 // jsonReport is the top-level document pskbench -json writes.
 type jsonReport struct {
-	Options struct {
-		Parallelism        int    `json:"parallelism"`
-		Pipeline           bool   `json:"pipeline"`
-		ShareClauses       bool   `json:"share_clauses"`
-		POR                bool   `json:"por"`
-		TracesPerIteration int    `json:"traces_per_iteration"`
-		TimeoutMS          int64  `json:"timeout_ms"`
-		Filter             string `json:"filter,omitempty"`
-	} `json:"options"`
-	Rows []jsonRow `json:"rows"`
+	Options jsonOptions `json:"options"`
+	Rows    []jsonRow   `json:"rows"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -74,6 +97,13 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 	rep.Options.TracesPerIteration = opts.TracesPerIteration
 	rep.Options.TimeoutMS = opts.Timeout.Milliseconds()
 	rep.Options.Filter = opts.Filter
+	rep.Options.MCMaxStates = opts.MCMaxStates
+	rep.Options.Proof = opts.Proof
+	rep.Options.GoVersion = runtime.Version()
+	rep.Options.GOOS = runtime.GOOS
+	rep.Options.GOARCH = runtime.GOARCH
+	rep.Options.NumCPU = runtime.NumCPU()
+	rep.Options.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Rows = make([]jsonRow, 0, len(rows))
 	for _, r := range rows {
 		jr := jsonRow{
@@ -87,6 +117,7 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 			SpecSolves: r.SpecSolves, SpecHits: r.SpecHits, SpecSolveMS: ms(r.SpecSolve),
 			SATExported: r.SATExported, SATImported: r.SATImported,
 			ProjHits: r.ProjHits, ProjMisses: r.ProjMisses, ProjSaved: r.ProjSaved,
+			ProofLemmas: r.ProofLemmas, ProofChecked: r.ProofChecked, ProofCheckMS: ms(r.ProofCheck),
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()

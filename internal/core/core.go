@@ -34,6 +34,7 @@ import (
 
 	"psketch/internal/circuit"
 	"psketch/internal/desugar"
+	"psketch/internal/drat"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
 	"psketch/internal/project"
@@ -69,6 +70,14 @@ type Options struct {
 	// NoShareClauses disables learned-clause exchange between the SAT
 	// portfolio's workers (on by default at Parallelism > 1).
 	NoShareClauses bool
+	// Proof enables DRAT proof logging in the SAT backends (solver or
+	// portfolio, shared-clause pool included) and replays every UNSAT
+	// verdict the loop commits to — candidate-space exhaustion and the
+	// sequential verifier's final "no counterexample input" — through
+	// the internal/drat backward checker before the verdict is
+	// returned. A failed replay surfaces as an error, so a "cannot be
+	// resolved" answer always carries a machine-checked certificate.
+	Proof bool
 	// Cancel, when set and stored true by another goroutine, aborts the
 	// synthesis cooperatively: in-flight SAT solves and model-checker
 	// searches unwind, worker goroutines are joined, and Synthesize
@@ -114,7 +123,7 @@ type Stats struct {
 	SATClauses int
 	SATConfl   int64
 	MCStates   int
-	MCTrans    int // transitions the model checker executed
+	MCTrans    int    // transitions the model checker executed
 	MaxHeap    uint64 // peak observed heap, bytes
 	// Parallelism is the worker count both phases ran at; the
 	// per-worker columns below are empty at Parallelism 1.
@@ -144,6 +153,13 @@ type Stats struct {
 	ProjHits   int64
 	ProjMisses int64
 	ProjSaved  int64
+	// DRAT certificate replay totals (Options.Proof only): lemmas the
+	// recorder held at certification time, lemmas the backward pass
+	// actually checked / found core, and the wall time Verify spent.
+	ProofLemmas  int
+	ProofChecked int
+	ProofCore    int
+	ProofCheck   time.Duration
 }
 
 // ErrCanceled is returned by Synthesize when Options.Cancel fired
@@ -158,6 +174,14 @@ type Result struct {
 	// LastTrace holds the final counterexample for unresolvable
 	// sketches (nil otherwise).
 	LastTrace *mc.Trace
+	// Certificate, under Options.Proof, is the verified DRAT
+	// certificate backing the result's final UNSAT verdict: the
+	// candidate-space exhaustion for unresolved results, or the
+	// sequential verifier's "no violating input" verdict for resolved
+	// sequential results. Resolved concurrent results carry none —
+	// there the final verdict is the model checker's, cross-checked by
+	// internal/oracle instead.
+	Certificate *drat.Certificate
 }
 
 // Synthesizer runs CEGIS for one lowered sketch.
@@ -184,6 +208,13 @@ type Synthesizer struct {
 	verifier satSolver
 	vvmap    *circuit.VarMap
 
+	// DRAT recorders (Options.Proof): one per SAT backend. vcert holds
+	// the verified certificate of the sequential verifier's final
+	// UNSAT-under-goal verdict for the Result.
+	proof  *drat.Recorder
+	vproof *drat.Recorder
+	vcert  *drat.Certificate
+
 	// projCache memoizes projection encodings per trace prefix on b; it
 	// persists across iterations and Synthesize calls (Enumerate).
 	projCache *project.Cache
@@ -207,6 +238,7 @@ type Synthesizer struct {
 // both the plain sat.Solver and the racing sat.Portfolio satisfy it.
 type satSolver interface {
 	sat.Adder
+	SetProof(*drat.Recorder)
 	Solve(assumptions ...sat.Lit) bool
 	SolveCancel(cancel *atomic.Bool, assumptions ...sat.Lit) (sat, canceled bool)
 	Value(v int) bool
@@ -249,6 +281,12 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	s.b = circuit.NewBuilder()
 	s.holes = sym.HoleInputs(s.b, sk)
 	s.solver = newSolver(opts.Parallelism, opts.NoShareClauses)
+	if opts.Proof {
+		// Attach before the first AddClause: the recorder must see
+		// every problem clause or later replays cannot close.
+		s.proof = drat.NewRecorder()
+		s.solver.SetProof(s.proof)
+	}
 	s.vmap = circuit.NewVarMap()
 	s.holeVars = make([][]int, len(sk.Holes))
 	for i, w := range s.holes {
@@ -311,6 +349,32 @@ func (s *Synthesizer) sampleHeap() {
 		s.stats.MaxHeap = ms.HeapAlloc
 	}
 	s.statsMu.Unlock()
+}
+
+// certifyUNSAT snapshots the recorder and replays the proof of the
+// UNSAT verdict just returned (speculative-solve UNSATs need no
+// certificate of their own: the blocking re-solve that confirms them
+// runs on the same or a larger clause set and is the verdict the loop
+// acts on). A failed replay is a soundness bug and surfaces as an
+// error, never a silent downgrade.
+func (s *Synthesizer) certifyUNSAT(r *drat.Recorder, assumptions []int, what string) (*drat.Certificate, error) {
+	if r == nil {
+		return nil, nil
+	}
+	t0 := time.Now()
+	cert := r.Certificate(assumptions)
+	cs, err := cert.Verify()
+	s.statsMu.Lock()
+	s.stats.ProofLemmas += cs.Lemmas
+	s.stats.ProofChecked += cs.Checked
+	s.stats.ProofCore += cs.Core
+	s.stats.ProofCheck += time.Since(t0)
+	s.statsMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("core: DRAT replay of %s UNSAT verdict failed: %w", what, err)
+	}
+	s.opts.Verbose("certified %s UNSAT verdict: %d lemmas, %d checked", what, cs.Lemmas, cs.Checked)
+	return cert, nil
 }
 
 // canceled reports whether the external cancellation token fired.
@@ -469,7 +533,11 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			}
 			if !ok {
 				s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
-				return &Result{Resolved: false, LastTrace: lastTrace}, nil
+				cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+				if cerr != nil {
+					return nil, cerr
+				}
+				return &Result{Resolved: false, LastTrace: lastTrace, Certificate: cert}, nil
 			}
 			cand = c
 		}
@@ -639,7 +707,11 @@ func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 			return nil, err
 		}
 		if !ok {
-			return &Result{Resolved: false}, nil
+			cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &Result{Resolved: false, Certificate: cert}, nil
 		}
 		s.opts.Verbose("iteration %d: verifying candidate %v", iter, cand)
 
@@ -649,7 +721,7 @@ func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 		}
 		s.sampleHeap()
 		if cex == nil {
-			return &Result{Resolved: true, Candidate: cand}, nil
+			return &Result{Resolved: true, Candidate: cand, Certificate: s.vcert}, nil
 		}
 		s.opts.Verbose("iteration %d: counterexample input %v", iter, cex)
 
@@ -743,6 +815,10 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	if s.verifier == nil {
 		s.vb = circuit.NewBuilder()
 		s.verifier = newSolver(s.opts.Parallelism, s.opts.NoShareClauses)
+		if s.opts.Proof {
+			s.vproof = drat.NewRecorder()
+			s.verifier.SetProof(s.vproof)
+		}
 		s.vvmap = circuit.NewVarMap()
 	}
 	vb := s.vb
@@ -784,7 +860,15 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 		return nil, ErrCanceled
 	}
 	if !found {
-		return nil, nil // verified on all inputs
+		// Verified on all inputs: the verdict is "UNSAT under the goal
+		// assumption" (the candidate's violation circuit is the only
+		// live goal; stale goals from earlier candidates stay free).
+		cert, cerr := s.certifyUNSAT(s.vproof, []int{sat.Dimacs(goal)}, "sequential verification")
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.vcert = cert
+		return nil, nil
 	}
 	cex := make([][]int64, len(inputWords))
 	for i, ws := range inputWords {

@@ -1,0 +1,155 @@
+package drat
+
+import (
+	"strings"
+	"testing"
+)
+
+// The four binary clauses over {a, b} are UNSAT; (a) is RUP, and the
+// empty clause follows. This is the smallest interesting RUP proof.
+func unsat2() [][]int {
+	return [][]int{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}}
+}
+
+func TestHandProofVerifies(t *testing.T) {
+	cert := NewCertificate(unsat2(), nil, [][]int{{1}})
+	stats, err := cert.Verify()
+	if err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	if stats.Lemmas != 1 || stats.Checked != 1 {
+		t.Fatalf("stats = %+v, want 1 lemma checked", stats)
+	}
+}
+
+func TestProofWithoutLemmasFails(t *testing.T) {
+	cert := NewCertificate(unsat2(), nil, nil)
+	if _, err := cert.Verify(); err == nil {
+		t.Fatal("proof with no lemmas should not close (binary clauses alone do not propagate)")
+	}
+}
+
+func TestNonRUPLemmaFails(t *testing.T) {
+	// (1) is not RUP from a satisfiable premise set, and the bogus
+	// "proof" needs it to close.
+	cert := NewCertificate([][]int{{1, 2}, {-1, 2}, {-2, 3}}, nil, [][]int{{1}, {-3}, {2}, {-2}})
+	if _, err := cert.Verify(); err == nil {
+		t.Fatal("bogus proof of a satisfiable formula accepted")
+	}
+}
+
+func TestAssumptionsOnlyCloseTheEmptyClause(t *testing.T) {
+	// ¬a ∨ ¬b is satisfiable; under assumptions a, b it is not.
+	cert := NewCertificate([][]int{{-1, -2}}, []int{1, 2}, nil)
+	if _, err := cert.Verify(); err != nil {
+		t.Fatalf("assumption UNSAT rejected: %v", err)
+	}
+	cert = NewCertificate([][]int{{-1, -2}}, nil, nil)
+	if _, err := cert.Verify(); err == nil {
+		t.Fatal("satisfiable formula certified without assumptions")
+	}
+}
+
+func TestEmptyPremiseIsImmediatelyUNSAT(t *testing.T) {
+	cert := NewCertificate([][]int{{}}, nil, nil)
+	if _, err := cert.Verify(); err != nil {
+		t.Fatalf("empty premise not recognized: %v", err)
+	}
+}
+
+func TestDeletionsAreHonoredExclusively(t *testing.T) {
+	r := NewRecorder()
+	if n := r.Attach(); n != 1 {
+		t.Fatalf("attach count %d", n)
+	}
+	for _, c := range unsat2() {
+		r.AddPremise(c)
+	}
+	r.AddLemma([]int{1})
+	r.DeleteLemma([]int{1})
+	if _, err := r.Certificate(nil).Verify(); err == nil {
+		t.Fatal("proof should fail once its only lemma is deleted")
+	}
+
+	// With a second solver attached, the deletion is dropped and the
+	// proof closes again.
+	r2 := NewRecorder()
+	r2.Attach()
+	r2.Attach()
+	for _, c := range unsat2() {
+		r2.AddPremise(c)
+	}
+	r2.AddLemma([]int{1})
+	r2.DeleteLemma([]int{1})
+	if _, err := r2.Certificate(nil).Verify(); err != nil {
+		t.Fatalf("shared-recorder deletion should be dropped: %v", err)
+	}
+}
+
+func TestNonCoreLemmasAreSkipped(t *testing.T) {
+	// Lemma (3) is junk but RUP-irrelevant; backward checking must not
+	// even look at it — it is not derivable, so a forward checker would
+	// reject the proof.
+	cert := NewCertificate(append(unsat2(), []int{3, 4}), nil, [][]int{{3}, {1}})
+	stats, err := cert.Verify()
+	if err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+	if stats.Checked != 1 {
+		t.Fatalf("checked %d lemmas, want 1 (the junk lemma must be skipped)", stats.Checked)
+	}
+}
+
+func TestTautologyAndDuplicateLiterals(t *testing.T) {
+	// Tautological and duplicated premises must not break propagation.
+	premises := [][]int{{1, -1}, {2, 2}, {-2, -2}, {1, 2}, {-1, 2}}
+	cert := NewCertificate(premises, nil, nil)
+	if _, err := cert.Verify(); err != nil {
+		t.Fatalf("units (2) and (¬2) should conflict immediately: %v", err)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes. Verified via a full
+	// resolution-free route: every clause the recorder gets is checked
+	// through the solver integration in internal/sat; here we only
+	// exercise a hand-rolled unit-heavy instance.
+	// x_{p,h} = p*n + h + 1, pigeons p in 0..n, holes h in 0..n-1.
+	n := 3
+	var premises [][]int
+	for p := 0; p <= n; p++ {
+		var c []int
+		for h := 0; h < n; h++ {
+			c = append(c, p*n+h+1)
+		}
+		premises = append(premises, c)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				premises = append(premises, []int{-(p1*n + h + 1), -(p2*n + h + 1)})
+			}
+		}
+	}
+	// No lemma list: propagation alone cannot close PHP, so Verify must
+	// reject — the positive PHP case is covered by the solver tests.
+	if _, err := NewCertificate(premises, nil, nil).Verify(); err == nil {
+		t.Fatal("PHP closed without any lemmas")
+	}
+}
+
+func TestProofRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Attach()
+	r.AddPremise([]int{1, 2})
+	r.AddLemma([]int{1})
+	r.DeleteLemma([]int{1})
+	got := r.Certificate(nil).Proof()
+	want := "1 0\nd 1 0\n"
+	if got != want {
+		t.Fatalf("Proof() = %q, want %q", got, want)
+	}
+	if !strings.Contains(got, "d 1 0") {
+		t.Fatal("deletion line missing")
+	}
+}

@@ -20,6 +20,8 @@
 package project
 
 import (
+	"fmt"
+
 	"psketch/internal/circuit"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
@@ -77,6 +79,31 @@ func Build(p *ir.Program, tr *mc.Trace) []Entry {
 		}
 	}
 	return out
+}
+
+// Validate checks the structural invariants Build guarantees and
+// Encode relies on: every (thread, step) instance of the program
+// appears exactly once, and each thread's instances appear in
+// ascending program order. It is the contract the fuzz targets and
+// differential tests hold the projection to.
+func Validate(p *ir.Program, entries []Entry) error {
+	n := p.NumThreads()
+	next := make([]int, n)
+	for i, e := range entries {
+		if e.Thread < 0 || e.Thread >= n {
+			return fmt.Errorf("project: entry %d has thread %d out of range [0,%d)", i, e.Thread, n)
+		}
+		if e.Step != next[e.Thread] {
+			return fmt.Errorf("project: entry %d (thread %d) has step %d, want %d (program order, no duplicates)", i, e.Thread, e.Step, next[e.Thread])
+		}
+		next[e.Thread]++
+	}
+	for t := 0; t < n; t++ {
+		if next[t] != len(p.Threads[t].Steps) {
+			return fmt.Errorf("project: thread %d emitted %d of %d steps", t, next[t], len(p.Threads[t].Steps))
+		}
+	}
+	return nil
 }
 
 // encState is the projection-local control state threaded through the

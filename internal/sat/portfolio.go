@@ -3,6 +3,8 @@ package sat
 import (
 	"sync"
 	"sync/atomic"
+
+	"psketch/internal/drat"
 )
 
 // WorkerStats summarizes one portfolio worker's lifetime work.
@@ -89,6 +91,22 @@ func (p *Portfolio) SetSharing(on bool) {
 
 // Sharing reports whether the learned-clause pool is active.
 func (p *Portfolio) Sharing() bool { return p.pool != nil }
+
+// SetProof attaches one DRAT proof recorder to every worker. The
+// recorder's mutex linearizes the workers' learnt clauses into a single
+// merged derivation; only worker 0 logs problem clauses (AddClause
+// broadcasts the identical stream to every worker, so one copy
+// suffices), and the recorder drops per-worker deletions once more than
+// one solver is attached. Call before adding clauses.
+func (p *Portfolio) SetProof(r *drat.Recorder) {
+	for i, w := range p.ws {
+		w.proof = r
+		w.proofPremises = i == 0
+		if r != nil {
+			r.Attach()
+		}
+	}
+}
 
 // NumWorkers returns the portfolio size.
 func (p *Portfolio) NumWorkers() int { return len(p.ws) }

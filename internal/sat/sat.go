@@ -32,6 +32,8 @@ package sat
 import (
 	"sort"
 	"sync/atomic"
+
+	"psketch/internal/drat"
 )
 
 // Adder is the clause-construction half of the solver interface, the
@@ -193,6 +195,16 @@ type Solver struct {
 	sharedID    int
 	shareCursor uint64
 
+	// DRAT proof logging (nil when disabled): every learnt clause is
+	// stamped into the recorder before it is exported to the shared
+	// pool, so a recorder shared by portfolio workers linearizes the
+	// merged derivation (see internal/drat). proofPremises marks the
+	// one solver of a recorder-sharing group that logs problem clauses
+	// (all portfolio workers receive the same broadcast).
+	proof         *drat.Recorder
+	proofPremises bool
+	dimacsBuf     []int
+
 	// Stats counts solver work for the Figure 9 columns.
 	Stats struct {
 		Conflicts    int64
@@ -214,6 +226,41 @@ func NewWith(cfg Config) *Solver {
 	s := &Solver{varInc: 1, claInc: 1, ok: true, cfg: cfg, rngState: cfg.Seed}
 	s.order = &varHeap{s: s}
 	return s
+}
+
+// Dimacs converts a literal to the DIMACS convention internal/drat
+// uses: variable v as ±(v+1).
+func Dimacs(l Lit) int {
+	if l.Neg() {
+		return -(l.Var() + 1)
+	}
+	return l.Var() + 1
+}
+
+// dimacs converts a clause into the scratch buffer (the recorder
+// copies what it is handed).
+func (s *Solver) dimacs(lits []Lit) []int {
+	out := s.dimacsBuf[:0]
+	for _, l := range lits {
+		out = append(out, Dimacs(l))
+	}
+	s.dimacsBuf = out
+	return out
+}
+
+// SetProof attaches a DRAT proof recorder: from now on every problem
+// clause is logged as a premise and every learnt clause as a lemma, so
+// UNSAT verdicts can be replayed through drat.Certificate.Verify.
+// Attach the recorder before adding clauses; clauses added earlier are
+// missing from the log and the replay of a later UNSAT verdict may
+// fail. Portfolio workers share one recorder via Portfolio.SetProof
+// instead.
+func (s *Solver) SetProof(r *drat.Recorder) {
+	s.proof = r
+	s.proofPremises = true
+	if r != nil {
+		r.Attach()
+	}
 }
 
 // NumVars returns the number of allocated variables.
@@ -257,6 +304,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause called during solving")
+	}
+	// Log the clause as given — normalization below is itself a derived
+	// fact (level-0 units), which the proof checker re-derives.
+	if s.proof != nil && s.proofPremises {
+		s.proof.AddPremise(s.dimacs(lits))
 	}
 	// Normalize: drop duplicate/false literals, detect tautologies.
 	out := s.scratch[:0]
@@ -763,6 +815,11 @@ func (s *Solver) reduceDB() {
 	for _, c := range s.learnts {
 		if !drop[c] {
 			kept = append(kept, c)
+		} else if s.proof != nil {
+			// The recorder drops per-worker deletions when the proof is
+			// shared by a portfolio (the merged database still holds the
+			// clause); solo proofs keep them as real DRAT "d" lines.
+			s.proof.DeleteLemma(s.dimacs(c.lits))
 		}
 	}
 	s.learnts = kept
@@ -803,6 +860,12 @@ func (s *Solver) search(maxConflicts int, assumptions []Lit) searchResult {
 				return unsatisfiable
 			}
 			learnt, btLevel := s.analyze(confl)
+			// Stamp the lemma into the proof BEFORE exporting it: an
+			// importer's later lemmas must sort after it in the merged
+			// derivation order (internal/drat).
+			if s.proof != nil {
+				s.proof.AddLemma(s.dimacs(learnt))
+			}
 			// Export before backtracking: the LBD quality gate needs the
 			// decision levels the literals were learned at.
 			s.exportLearnt(learnt)

@@ -28,6 +28,7 @@ import (
 
 	"psketch/internal/core"
 	"psketch/internal/desugar"
+	"psketch/internal/drat"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
 	"psketch/internal/parser"
@@ -79,6 +80,11 @@ type Options struct {
 	// NoShareClauses disables learned-clause exchange between the SAT
 	// portfolio's workers (on by default at Parallelism > 1).
 	NoShareClauses bool
+	// Proof enables DRAT proof logging in the SAT backends and replays
+	// every committed UNSAT verdict through the internal/drat backward
+	// checker, so a "cannot be resolved" answer carries a verified
+	// certificate. Adds solver and memory overhead; see EXPERIMENTS.md.
+	Proof bool
 	// Cancel, when set and stored true by another goroutine, aborts
 	// Synthesize and ModelCheck cooperatively (solves and searches
 	// unwind, workers are joined, and an error is returned).
@@ -110,6 +116,7 @@ func (s *Sketch) coreOpts() core.Options {
 		NoPOR:              s.opts.NoPOR,
 		NoPipeline:         s.opts.NoPipeline,
 		NoShareClauses:     s.opts.NoShareClauses,
+		Proof:              s.opts.Proof,
 		Cancel:             s.opts.Cancel,
 		Verbose:            s.opts.Verbose,
 	}
@@ -158,6 +165,11 @@ type Result struct {
 	Code string
 	// Stats reports iterations, per-phase times and memory.
 	Stats Stats
+	// Certificate, under Options.Proof, is the verified DRAT
+	// certificate backing the run's final UNSAT verdict (candidate-
+	// space exhaustion, or the sequential verifier's final check). Nil
+	// when proof logging is off or no SAT verdict closed the run.
+	Certificate *drat.Certificate
 }
 
 // Synthesize runs CEGIS on a compiled sketch.
@@ -170,7 +182,7 @@ func (s *Sketch) Synthesize() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Resolved: r.Resolved, Candidate: r.Candidate, Stats: r.Stats}
+	out := &Result{Resolved: r.Resolved, Candidate: r.Candidate, Stats: r.Stats, Certificate: r.Certificate}
 	if r.Resolved {
 		code, err := printer.Program(s.sk, r.Candidate)
 		if err != nil {
