@@ -30,6 +30,7 @@ package psketch
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -38,6 +39,7 @@ import (
 	"psketch/internal/desugar"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
+	"psketch/internal/obs"
 	"psketch/internal/parser"
 	"psketch/internal/project"
 	"psketch/internal/sat"
@@ -526,4 +528,69 @@ func BenchmarkSynthPortfolio_QueueE2(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkHeapSampling measures the cost of the heap high-water-mark
+// sampling cadence on the full queueE2 CEGIS loop. Every sample is a
+// runtime.ReadMemStats, which stops the world — the loop used to pay
+// it unconditionally each iteration; it is now behind the
+// HeapSampleEvery knob (0 = one final sample, the library default;
+// 1 = the historical per-iteration behaviour pskbench keeps for
+// baseline comparability).
+func BenchmarkHeapSampling(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE2(), "ed(ed|ed)")
+	for _, every := range []int{0, 1} {
+		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				syn, err := core.New(sk, core.Options{Parallelism: 1, HeapSampleEvery: every})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := syn.Synthesize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Resolved || res.Stats.MaxHeap == 0 {
+					b.Fatalf("resolved=%v heap=%d", res.Resolved, res.Stats.MaxHeap)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJournalOverhead_QueueE2 measures the full CEGIS loop with
+// tracing off (nil tracer) vs journaling to an in-memory sink — the
+// EXPERIMENTS.md "<3% with a journal attached" number.
+func BenchmarkJournalOverhead_QueueE2(b *testing.B) {
+	sk := compileBench(b, sketches.QueueE2(), "ed(ed|ed)")
+	run := func(b *testing.B, trace bool) {
+		for i := 0; i < b.N; i++ {
+			opts := core.Options{Parallelism: 1}
+			var js *obs.JournalSink
+			if trace {
+				js = obs.NewJournalSink(io.Discard, nil)
+				opts.Trace = obs.NewTracer(js)
+				opts.Metrics = obs.NewMetrics()
+			}
+			syn, err := core.New(sk, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := syn.Synthesize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Resolved {
+				b.Fatal("did not resolve")
+			}
+			if js != nil {
+				js.WriteMetrics(opts.Metrics.Snapshot())
+				if err := js.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("journal", func(b *testing.B) { run(b, true) })
 }

@@ -11,6 +11,14 @@
 // floor, so shared CI runners don't flake the gate. Configuration
 // skew between the two reports (parallelism, host, proof replay) is
 // printed as warnings — and with -strict-config also fails the gate.
+//
+// With -journal the two reports are run journals (pskbench -journal)
+// instead: per-benchmark wall clock comes from the bench.run spans and
+// the engine's per-phase totals (solve, verify, projection) are each
+// gated too, catching regressions confined to one phase.
+//
+//	pskbench -fig9 -filter queueE1 -journal new.jsonl
+//	benchgate -journal -baseline baseline.jsonl -candidate new.jsonl
 package main
 
 import (
@@ -28,6 +36,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 3.0, "max candidate/baseline wall-clock ratio")
 		minMS     = flag.Float64("min-ms", 250, "noise floor: rows faster than this are not timed")
 		strict    = flag.Bool("strict-config", false, "treat configuration-skew warnings as failures")
+		journal   = flag.Bool("journal", false, "baseline and candidate are run journals (pskbench -journal); gate per-phase times too")
 	)
 	flag.Parse()
 	if *candidate == "" {
@@ -45,7 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	g, err := bench.Gate(base, cand, bench.GateOptions{Tolerance: *tolerance, MinMS: *minMS})
+	gate := bench.Gate
+	if *journal {
+		gate = bench.GateJournals
+	}
+	g, err := gate(base, cand, bench.GateOptions{Tolerance: *tolerance, MinMS: *minMS})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)

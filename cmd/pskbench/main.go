@@ -15,9 +15,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"psketch/internal/bench"
+	"psketch/internal/obs"
 )
 
 func main() {
@@ -38,6 +40,10 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the measured Figure 9 rows to this file as JSON")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		journal    = flag.String("journal", "", "write a structured run journal (JSONL) to this file; inspect with psktrace")
+		flight     = flag.Int("flight", 0, "keep a flight recorder of the last N spans, dumped to <journal>.flight.jsonl if a run errors")
+		debugAddr  = flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		heapSample = flag.Int("heap-sample", 1, "sample the heap high-water mark every N CEGIS iterations (0 = once per run)")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -70,10 +76,69 @@ func main() {
 	if !*table1 && !*fig9 && !*fig10 {
 		*table1, *fig9, *fig10 = true, true, true
 	}
+	// Observability: a journal sink persists every span, the flight
+	// recorder keeps the last N in memory for post-mortems, and both
+	// feed off one tracer so the engine pays a single emit per span.
+	met := obs.NewMetrics()
+	var (
+		tr    *obs.Tracer
+		js    *obs.JournalSink
+		jf    *os.File
+		ring  *obs.RingSink
+		sinks []obs.Sink
+	)
+	meta := map[string]string{
+		"cmd":         "pskbench",
+		"filter":      *filter,
+		"parallelism": strconv.Itoa(*par),
+		"goos":        runtime.GOOS,
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			os.Exit(1)
+		}
+		jf = f
+		js = obs.NewJournalSink(f, meta)
+		sinks = append(sinks, js)
+	}
+	if *flight > 0 {
+		ring = obs.NewRingSink(*flight)
+		sinks = append(sinks, ring)
+	}
+	if len(sinks) > 0 {
+		tr = obs.NewTracer(obs.MultiSink(sinks...))
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pskbench: live /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	// closeObs finishes the journal (metrics trailer + flush) and, when
+	// a run failed, dumps the flight recorder next to it.
+	closeObs := func(failed bool) {
+		if js != nil {
+			js.WriteMetrics(met.Snapshot())
+			if err := js.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "journal:", err)
+			}
+			jf.Close()
+			fmt.Fprintf(os.Stderr, "wrote journal to %s\n", *journal)
+		}
+		if failed && ring != nil {
+			dumpFlight(ring, *journal, meta, met.Snapshot())
+		}
+	}
 	opts := bench.Options{
 		Filter: *filter, Timeout: *timeout, IncludeExtras: *extras,
 		TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR,
 		NoPipeline: !*pipeline, NoShareClauses: !*share, Proof: *proof,
+		Trace: tr, Metrics: met, HeapSampleEvery: *heapSample,
 	}
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
@@ -84,6 +149,7 @@ func main() {
 		fmt.Println("== Table 1: candidate-space sizes ==")
 		if err := bench.Table1(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "table1:", err)
+			closeObs(false)
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -98,6 +164,13 @@ func main() {
 		fmt.Println("== Figure 10: log10|C| vs CEGIS iterations ==")
 		bench.Fig10(os.Stdout, rows)
 	}
+	failed := false
+	for _, r := range rows {
+		if r.Err != nil {
+			failed = true
+		}
+	}
+	closeObs(failed)
 	if *jsonOut != "" {
 		if err := bench.WriteJSON(*jsonOut, rows, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
@@ -105,4 +178,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d row(s) to %s\n", len(rows), *jsonOut)
 	}
+}
+
+// dumpFlight writes the flight recorder's last spans as a well-formed
+// journal next to the main one (or to pskbench.flight.jsonl).
+func dumpFlight(ring *obs.RingSink, journal string, meta map[string]string, snap map[string]int64) {
+	path := "pskbench.flight.jsonl"
+	if journal != "" {
+		path = journal + ".flight.jsonl"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flight:", err)
+		return
+	}
+	defer f.Close()
+	if err := ring.Dump(f, meta, snap); err != nil {
+		fmt.Fprintln(os.Stderr, "flight:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dumped flight recorder to %s\n", path)
 }

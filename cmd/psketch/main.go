@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 
 	"psketch"
+	"psketch/internal/obs"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 		pipeline  = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
 		share     = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
 		proof     = flag.Bool("proofcheck", false, "log DRAT proofs and replay every UNSAT verdict through the backward checker")
+		journal   = flag.String("journal", "", "write a structured run journal (JSONL) to this file; inspect with psktrace")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -45,6 +49,51 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Observability: -journal traces the whole run to JSONL (psktrace
+	// renders it), -debug-addr serves the same counters live.
+	met := obs.NewMetrics()
+	var (
+		tr *obs.Tracer
+		js *obs.JournalSink
+		jf *os.File
+	)
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			os.Exit(1)
+		}
+		jf = f
+		js = obs.NewJournalSink(f, map[string]string{
+			"cmd":         "psketch",
+			"file":        flag.Arg(0),
+			"parallelism": strconv.Itoa(*par),
+			"goos":        runtime.GOOS,
+		})
+		tr = obs.NewTracer(js)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "psketch: live /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	// exit finishes the journal (metrics trailer + flush) first, since
+	// os.Exit skips deferred calls.
+	exit := func(code int) {
+		if js != nil {
+			js.WriteMetrics(met.Snapshot())
+			if err := js.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "journal:", err)
+			}
+			jf.Close()
+			fmt.Fprintf(os.Stderr, "wrote journal to %s\n", *journal)
+		}
+		os.Exit(code)
 	}
 	opts := psketch.Options{
 		IntWidth:           *intWidth,
@@ -57,6 +106,8 @@ func main() {
 		NoPipeline:         !*pipeline,
 		NoShareClauses:     !*share,
 		Proof:              *proof,
+		Trace:              tr,
+		Metrics:            met,
 	}
 	if *quadratic {
 		opts.Encoding = psketch.EncodeQuadratic
@@ -71,27 +122,27 @@ func main() {
 		tgt, err = autodetectTarget(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	sk, err := psketch.Compile(string(src), tgt, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *showCount {
 		fmt.Printf("|C| = %s\n", sk.CandidateCount())
-		return
+		exit(0)
 	}
 	if *all > 0 {
 		rs, err := sk.Enumerate(*all)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if len(rs) == 0 {
 			fmt.Println("NO — the sketch cannot be resolved")
-			os.Exit(2)
+			exit(2)
 		}
 		seen := map[string]bool{}
 		n := 0
@@ -103,12 +154,12 @@ func main() {
 			n++
 			fmt.Printf("// ---- solution %d (%d iteration(s)) ----\n\n%s\n", n, r.Stats.Iterations, r.Code)
 		}
-		return
+		exit(0)
 	}
 	res, err := sk.Synthesize()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if !res.Resolved {
 		fmt.Println("NO — the sketch cannot be resolved")
@@ -116,10 +167,11 @@ func main() {
 			fmt.Printf("// DRAT-certified: %d premises, %d lemmas replayed\n",
 				res.Certificate.NumPremises(), res.Certificate.NumLemmas())
 		}
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("// resolved in %d iteration(s), %v\n\n", res.Stats.Iterations, res.Stats.Total.Round(1000000))
 	fmt.Print(res.Code)
+	exit(0)
 }
 
 func autodetectTarget(src string) (string, error) {

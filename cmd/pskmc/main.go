@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"psketch"
+	"psketch/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		journal    = flag.String("journal", "", "write a structured run journal (JSONL) to this file; inspect with psktrace")
+		debugAddr  = flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,12 +56,51 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// Observability: the model-check search traces its mc.check /
+	// mc.worker spans into the journal; the same counters serve live
+	// on -debug-addr.
+	met := obs.NewMetrics()
+	var (
+		tr *obs.Tracer
+		js *obs.JournalSink
+		jf *os.File
+	)
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			os.Exit(1)
+		}
+		jf = f
+		js = obs.NewJournalSink(f, map[string]string{
+			"cmd":  "pskmc",
+			"file": flag.Arg(0),
+		})
+		tr = obs.NewTracer(js)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pskmc: live /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
 	exit := func(code int) {
 		if *cpuProfile != "" {
 			pprof.StopCPUProfile()
 		}
 		if *memProfile != "" {
 			writeMemProfile(*memProfile)
+		}
+		if js != nil {
+			js.WriteMetrics(met.Snapshot())
+			if err := js.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "journal:", err)
+			}
+			jf.Close()
+			fmt.Fprintf(os.Stderr, "wrote journal to %s\n", *journal)
 		}
 		os.Exit(code)
 	}
@@ -83,6 +125,7 @@ func main() {
 	sk, err := psketch.Compile(string(src), tgt, psketch.Options{
 		IntWidth: *intWidth, LoopBound: *loopBound, MCMaxStates: *maxStates,
 		Parallelism: *par, NoPOR: *noPOR, Cancel: &cancel,
+		Trace: tr, Metrics: met,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -12,6 +12,7 @@ import (
 
 	"psketch/internal/core"
 	"psketch/internal/desugar"
+	"psketch/internal/obs"
 	"psketch/internal/parser"
 	"psketch/internal/sat"
 	"psketch/internal/sketches"
@@ -90,6 +91,15 @@ type Options struct {
 	// Proof replays every committed UNSAT verdict through the DRAT
 	// backward checker (overhead measurement; off by default).
 	Proof bool
+	// Trace/Metrics forward the observability layer into every run:
+	// each RunOne wraps its synthesis in a "bench.run" span (attrs:
+	// bench, test) and the CEGIS spans nest under it. Nil disables.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	// HeapSampleEvery forwards core's heap-sampling cadence. The cmds
+	// default it to 1 so MemMiB stays comparable with checked-in
+	// baselines; 0 samples once per run.
+	HeapSampleEvery int
 }
 
 // logBig computes log10 of a big integer.
@@ -128,6 +138,12 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		maxStates = 60_000_000
 	}
 	var cancel atomic.Bool
+	rsp := opts.Trace.Start(obs.SpanBenchRun, 0)
+	endRun := func(status string) {
+		if rsp.Active() {
+			rsp.End(obs.Str("bench", b.Name), obs.Str("test", test), obs.Str("status", status))
+		}
+	}
 	syn, err := core.New(sk, core.Options{
 		MCMaxStates:        maxStates,
 		Verbose:            opts.Verbose,
@@ -138,8 +154,13 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		NoShareClauses:     opts.NoShareClauses,
 		Proof:              opts.Proof,
 		Cancel:             &cancel,
+		Trace:              opts.Trace,
+		TraceParent:        rsp.ID(),
+		Metrics:            opts.Metrics,
+		HeapSampleEvery:    opts.HeapSampleEvery,
 	})
 	if err != nil {
+		endRun("compile_error")
 		row.Err = err
 		return row
 	}
@@ -163,6 +184,7 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 			// under the next one.
 			cancel.Store(true)
 			<-ch
+			endRun("timeout")
 			row.Err = fmt.Errorf("timeout after %v", opts.Timeout)
 			return row
 		}
@@ -171,9 +193,11 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		res, err = o.res, o.err
 	}
 	if err != nil {
+		endRun("error")
 		row.Err = err
 		return row
 	}
+	endRun("done")
 	row.Resolved = res.Resolved
 	row.Itns = res.Stats.Iterations
 	row.Total = res.Stats.Total

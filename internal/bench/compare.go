@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"psketch/internal/obs"
 )
 
 // GateOptions tune the benchmark regression gate.
@@ -125,6 +127,87 @@ func Gate(baseline, candidate []byte, o GateOptions) (*GateResult, error) {
 		sort.Strings(missing)
 		for _, key := range missing {
 			g.failf("%s: in baseline but missing from candidate", key)
+		}
+	}
+	return g, nil
+}
+
+// GateJournals compares two run journals (pskbench -journal output) the
+// way Gate compares two -json reports: per-benchmark wall-clock from the
+// bench.run spans is gated at Tolerance x above the noise floor, a run
+// erroring where the baseline finished fails outright, and the engine's
+// per-phase totals (solve, verify, projection) are each gated too — so
+// a regression confined to one phase is caught even when the end-to-end
+// time hides it. Configuration skew (differing parallelism recorded in
+// the journal headers) is surfaced as a warning.
+func GateJournals(baseline, candidate []byte, o GateOptions) (*GateResult, error) {
+	bj, err := obs.ReadJournalString(string(baseline))
+	if err != nil {
+		return nil, fmt.Errorf("gate: parsing baseline journal: %w", err)
+	}
+	cj, err := obs.ReadJournalString(string(candidate))
+	if err != nil {
+		return nil, fmt.Errorf("gate: parsing candidate journal: %w", err)
+	}
+	g := &GateResult{}
+	if bp, cp := bj.Meta["parallelism"], cj.Meta["parallelism"]; bp != "" && cp != "" && bp != cp {
+		g.warnf("config: parallelism %s vs baseline %s — timings not comparable", cp, bp)
+	}
+	tol, floor := o.tolerance(), o.minMS()
+
+	// Per-benchmark wall clock and verdict, keyed by bench/test attrs.
+	type run struct {
+		ms     float64
+		status string
+	}
+	runs := func(j *obs.Journal) map[string]run {
+		out := map[string]run{}
+		for _, r := range j.Roots(obs.SpanBenchRun) {
+			key := r.StrAttr("bench") + "/" + r.StrAttr("test")
+			out[key] = run{ms: float64(r.Dur) / 1e6, status: r.StrAttr("status")}
+		}
+		return out
+	}
+	brs, crs := runs(bj), runs(cj)
+	keys := make([]string, 0, len(crs))
+	for key := range crs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cr := crs[key]
+		if cr.status != "done" {
+			g.failf("%s: run ended with status %q", key, cr.status)
+			continue
+		}
+		br, ok := brs[key]
+		if !ok {
+			g.warnf("%s: not in baseline journal (no timing reference)", key)
+			continue
+		}
+		g.Compared++
+		if cr.ms > floor && br.ms > 0 && cr.ms > tol*br.ms {
+			g.failf("%s: %.0fms vs baseline %.0fms (%.1fx > %.1fx tolerance)",
+				key, cr.ms, br.ms, cr.ms/br.ms, tol)
+		}
+	}
+
+	// Per-phase totals across the whole journal. Speculative solving
+	// overlaps verification, so spec time is advisory only.
+	bt, ct := bj.PhaseTotals(), cj.PhaseTotals()
+	for _, p := range obs.Phases {
+		bms, cms := float64(bt[p])/1e6, float64(ct[p])/1e6
+		if bms == 0 && cms == 0 {
+			continue
+		}
+		g.Compared++
+		if cms > floor && bms > 0 && cms > tol*bms {
+			if p == obs.PhaseSpec {
+				g.warnf("phase %s: %.0fms vs baseline %.0fms (%.1fx; overlapped, not gated)", p, cms, bms, cms/bms)
+			} else {
+				g.failf("phase %s: %.0fms vs baseline %.0fms (%.1fx > %.1fx tolerance)",
+					p, cms, bms, cms/bms, tol)
+			}
 		}
 	}
 	return g, nil

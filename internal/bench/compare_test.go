@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -181,5 +182,103 @@ func TestGateAcceptsCheckedInBaseline(t *testing.T) {
 	}
 	if g.Compared == 0 {
 		t.Fatal("no rows compared against the checked-in baseline")
+	}
+}
+
+// journalFor builds a minimal run journal: one bench.run root per
+// entry plus phase-tagged engine spans whose durations scale with the
+// run's wall clock.
+func journalFor(runs ...journalRun) []byte {
+	var b strings.Builder
+	b.WriteString(`{"psketch_journal":1,"meta":{"cmd":"pskbench","parallelism":"4"}}` + "\n")
+	id := 0
+	for _, r := range runs {
+		id++
+		root := id
+		fmt.Fprintf(&b, `{"name":"bench.run","id":%d,"start_ns":%d,"dur_ns":%d,"attrs":{"bench":%q,"test":%q,"status":%q}}`+"\n",
+			root, root*1000, r.ns, r.bench, r.test, r.status)
+		id++
+		fmt.Fprintf(&b, `{"name":"cegis.verify","id":%d,"parent":%d,"start_ns":%d,"dur_ns":%d,"attrs":{"phase":"vsolve"}}`+"\n",
+			id, root, root*1000+1, r.ns*3/4)
+		id++
+		fmt.Fprintf(&b, `{"name":"cegis.solve","id":%d,"parent":%d,"start_ns":%d,"dur_ns":%d,"attrs":{"phase":"ssolve"}}`+"\n",
+			id, root, root*1000+2, r.ns/4)
+	}
+	return []byte(b.String())
+}
+
+type journalRun struct {
+	bench, test, status string
+	ns                  int64
+}
+
+func TestGateJournalsPasses(t *testing.T) {
+	base := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 400e6})
+	cand := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 900e6})
+	g, err := GateJournals(base, cand, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.OK() {
+		t.Fatalf("gate failed: %v", g.Failures)
+	}
+	if g.Compared == 0 {
+		t.Fatal("nothing compared")
+	}
+}
+
+func TestGateJournalsCatchesRunRegression(t *testing.T) {
+	base := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 400e6})
+	cand := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 1300e6})
+	g, err := GateJournals(base, cand, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OK() {
+		t.Fatal("3.25x slowdown must fail the default 3x gate")
+	}
+	if !strings.Contains(g.Failures[0], "queueE1/ed(ed|ed)") {
+		t.Fatalf("failure not attributed to the run: %v", g.Failures)
+	}
+}
+
+// TestGateJournalsCatchesPhaseRegression is the case the -json gate
+// cannot see: end-to-end time within tolerance, but one engine phase
+// regressed past it.
+func TestGateJournalsCatchesPhaseRegression(t *testing.T) {
+	base := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 400e6})
+	// Same wall clock, but verification time quadrupled (solve shrank).
+	cand := []byte(`{"psketch_journal":1,"meta":{"cmd":"pskbench","parallelism":"4"}}
+{"name":"bench.run","id":1,"start_ns":1000,"dur_ns":400000000,"attrs":{"bench":"queueE1","test":"ed(ed|ed)","status":"done"}}
+{"name":"cegis.verify","id":2,"parent":1,"start_ns":1001,"dur_ns":1200000000,"attrs":{"phase":"vsolve"}}
+{"name":"cegis.solve","id":3,"parent":1,"start_ns":1002,"dur_ns":100000,"attrs":{"phase":"ssolve"}}
+`)
+	g, err := GateJournals(base, cand, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OK() {
+		t.Fatal("4x vsolve regression must fail even with total in tolerance")
+	}
+	if !strings.Contains(strings.Join(g.Failures, "\n"), "phase vsolve") {
+		t.Fatalf("failure not attributed to the phase: %v", g.Failures)
+	}
+}
+
+func TestGateJournalsErroredRunFails(t *testing.T) {
+	base := journalFor(journalRun{"queueE1", "ed(ed|ed)", "done", 400e6})
+	cand := journalFor(journalRun{"queueE1", "ed(ed|ed)", "timeout", 400e6})
+	g, err := GateJournals(base, cand, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OK() || !strings.Contains(g.Failures[0], "timeout") {
+		t.Fatalf("errored run not caught: %+v", g)
+	}
+}
+
+func TestGateJournalsBadInput(t *testing.T) {
+	if _, err := GateJournals([]byte("not json"), []byte("not json"), GateOptions{}); err == nil {
+		t.Fatal("garbage journals must error")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"psketch/internal/drat"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
+	"psketch/internal/obs"
 	"psketch/internal/project"
 	"psketch/internal/sat"
 	"psketch/internal/state"
@@ -83,6 +84,27 @@ type Options struct {
 	// searches unwind, worker goroutines are joined, and Synthesize
 	// returns ErrCanceled.
 	Cancel *atomic.Bool
+	// Trace, when set, receives hierarchical spans for every phase of
+	// the loop: per-iteration solve/verify/project/spec spans, the SAT
+	// backend's per-solve (and per-portfolio-worker) spans, the model
+	// checker's per-check and per-shard-worker spans, and the projection
+	// cache's per-encode spans. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// TraceParent is the span the run's root spans parent to (0 for
+	// top-level), letting a driver such as internal/bench nest whole
+	// synthesis runs under its own spans.
+	TraceParent obs.SpanID
+	// Metrics, when set, is the registry the loop's counters live in;
+	// Stats is a view computed from it, so an external registry sees
+	// live values mid-run (the -debug-addr endpoint). Nil uses a
+	// private registry — Stats works either way.
+	Metrics *obs.Metrics
+	// HeapSampleEvery samples the heap high-water mark every N CEGIS
+	// iterations. runtime.ReadMemStats stops the world, so the default
+	// 0 samples only once, at the end of Synthesize, keeping the pause
+	// off the hot loop; pskbench sets 1 to preserve the historical
+	// per-iteration MemMiB measurement.
+	HeapSampleEvery int
 	// Verbose, when set, receives progress lines.
 	Verbose func(format string, args ...any)
 	// WatchCandidate, when non-nil, is checked against every learned
@@ -111,7 +133,10 @@ func (o Options) defaults() Options {
 }
 
 // Stats mirrors the Figure 9 columns: per-phase solver and model-build
-// times, iteration count, and memory.
+// times, iteration count, and memory. It is a point-in-time view
+// computed from the synthesizer's metrics registry (statsView), not a
+// separately maintained side channel, so a journal's metrics trailer
+// and the Stats a caller sees are the same numbers.
 type Stats struct {
 	Iterations int
 	SSolve     time.Duration // synthesizer SAT time
@@ -227,11 +252,111 @@ type Synthesizer struct {
 	// refuted by ungated clauses. Regular solves leave specAct free.
 	specAct int
 
-	// statsMu guards stats: the speculative-solve goroutine records its
-	// wall time concurrently with the driver goroutine's verifier
-	// bookkeeping.
-	statsMu sync.Mutex
-	stats   Stats
+	// Observability. tr is nil when tracing is off (span calls are then
+	// no-ops); met always points at a registry — Options.Metrics or a
+	// private one — so the counter handles in ct are always valid. The
+	// speculative-solve goroutine bumps its counters concurrently with
+	// the driver; counters are single atomics, so no lock is involved.
+	tr      *obs.Tracer
+	met     *obs.Metrics
+	ct      counters
+	runSpan obs.Span // current Synthesize root span
+
+	// statsMu guards the two slice-valued stats the registry cannot
+	// hold: per-worker model-checker state totals and the portfolio's
+	// per-worker solver totals.
+	statsMu        sync.Mutex
+	mcWorkerStates []int
+	satWorkers     []sat.WorkerStats
+}
+
+// counters caches the registry handles the loop bumps. Durations are
+// nanoseconds; the cegis.*_ns names match obs.PhaseCounter, which is
+// what lets psktrace cross-check journal span totals against the
+// metrics trailer.
+type counters struct {
+	iterations, totalNS                    *obs.Counter
+	ssolveNS, smodelNS, vsolveNS, vmodelNS *obs.Counter
+	specSolves, specHits, specNS           *obs.Counter
+	mcStates, mcTrans                      *obs.Counter
+	heapMax                                *obs.Counter
+	satVars, satClauses, satConfl          *obs.Counter
+	satExported, satImported               *obs.Counter
+	projHits, projMisses, projSaved        *obs.Counter
+
+	proofLemmas, proofChecked, proofCore, proofCheckNS *obs.Counter
+}
+
+func newCounters(m *obs.Metrics) counters {
+	return counters{
+		iterations:   m.Counter("cegis.iterations"),
+		totalNS:      m.Counter("cegis.total_ns"),
+		ssolveNS:     m.Counter(obs.PhaseCounter(obs.PhaseSSolve)),
+		smodelNS:     m.Counter(obs.PhaseCounter(obs.PhaseSModel)),
+		vsolveNS:     m.Counter(obs.PhaseCounter(obs.PhaseVSolve)),
+		vmodelNS:     m.Counter(obs.PhaseCounter(obs.PhaseVModel)),
+		specNS:       m.Counter(obs.PhaseCounter(obs.PhaseSpec)),
+		specSolves:   m.Counter("cegis.spec_solves"),
+		specHits:     m.Counter("cegis.spec_hits"),
+		mcStates:     m.Counter("mc.states"),
+		mcTrans:      m.Counter("mc.trans"),
+		heapMax:      m.Counter("heap.max_bytes"),
+		satVars:      m.Counter("sat.vars"),
+		satClauses:   m.Counter("sat.clauses"),
+		satConfl:     m.Counter("sat.conflicts"),
+		satExported:  m.Counter("sat.exported"),
+		satImported:  m.Counter("sat.imported"),
+		projHits:     m.Counter("proj.hits"),
+		projMisses:   m.Counter("proj.misses"),
+		projSaved:    m.Counter("proj.saved_entries"),
+		proofLemmas:  m.Counter("proof.lemmas"),
+		proofChecked: m.Counter("proof.checked"),
+		proofCore:    m.Counter("proof.core"),
+		proofCheckNS: m.Counter("proof.check_ns"),
+	}
+}
+
+// statsView materializes Stats from the metrics registry.
+func (s *Synthesizer) statsView() Stats {
+	st := Stats{
+		Iterations:   int(s.ct.iterations.Get()),
+		SSolve:       time.Duration(s.ct.ssolveNS.Get()),
+		SModel:       time.Duration(s.ct.smodelNS.Get()),
+		VSolve:       time.Duration(s.ct.vsolveNS.Get()),
+		VModel:       time.Duration(s.ct.vmodelNS.Get()),
+		Total:        time.Duration(s.ct.totalNS.Get()),
+		SATVars:      int(s.ct.satVars.Get()),
+		SATClauses:   int(s.ct.satClauses.Get()),
+		SATConfl:     s.ct.satConfl.Get(),
+		MCStates:     int(s.ct.mcStates.Get()),
+		MCTrans:      int(s.ct.mcTrans.Get()),
+		MaxHeap:      uint64(s.ct.heapMax.Get()),
+		Parallelism:  s.opts.Parallelism,
+		SpecSolves:   int(s.ct.specSolves.Get()),
+		SpecHits:     int(s.ct.specHits.Get()),
+		SpecSolve:    time.Duration(s.ct.specNS.Get()),
+		SATExported:  s.ct.satExported.Get(),
+		SATImported:  s.ct.satImported.Get(),
+		ProjHits:     s.ct.projHits.Get(),
+		ProjMisses:   s.ct.projMisses.Get(),
+		ProjSaved:    s.ct.projSaved.Get(),
+		ProofLemmas:  int(s.ct.proofLemmas.Get()),
+		ProofChecked: int(s.ct.proofChecked.Get()),
+		ProofCore:    int(s.ct.proofCore.Get()),
+		ProofCheck:   time.Duration(s.ct.proofCheckNS.Get()),
+	}
+	s.statsMu.Lock()
+	st.MCWorkerStates = append([]int(nil), s.mcWorkerStates...)
+	st.SATWorkers = append([]sat.WorkerStats(nil), s.satWorkers...)
+	s.statsMu.Unlock()
+	return st
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // satSolver is the incremental-solving interface the CEGIS loop needs;
@@ -239,6 +364,8 @@ type Synthesizer struct {
 type satSolver interface {
 	sat.Adder
 	SetProof(*drat.Recorder)
+	SetTracer(*obs.Tracer)
+	SetSpanParent(obs.SpanID)
 	Solve(assumptions ...sat.Lit) bool
 	SolveCancel(cancel *atomic.Bool, assumptions ...sat.Lit) (sat, canceled bool)
 	Value(v int) bool
@@ -264,8 +391,15 @@ func newSolver(parallelism int, noShare bool) satSolver {
 func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	opts = opts.defaults()
 	s := &Synthesizer{Sk: sk, opts: opts, specAct: -1}
+	s.tr = opts.Trace
+	s.met = opts.Metrics
+	if s.met == nil {
+		s.met = obs.NewMetrics()
+	}
+	s.ct = newCounters(s.met)
 
 	t0 := time.Now()
+	sp := s.tr.Start("setup.lower", opts.TraceParent)
 	prog, err := ir.Lower(sk)
 	if err != nil {
 		return nil, err
@@ -275,12 +409,16 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 		return nil, err
 	}
 	s.Prog, s.Layout = prog, layout
-	s.stats.VModel += time.Since(t0)
+	d := time.Since(t0)
+	s.ct.vmodelNS.Add(int64(d))
+	sp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseVModel))
 
 	t0 = time.Now()
+	sp = s.tr.Start("setup.encode", opts.TraceParent)
 	s.b = circuit.NewBuilder()
 	s.holes = sym.HoleInputs(s.b, sk)
 	s.solver = newSolver(opts.Parallelism, opts.NoShareClauses)
+	s.solver.SetTracer(opts.Trace)
 	if opts.Proof {
 		// Attach before the first AddClause: the recorder must see
 		// every problem clause or later replays cannot close.
@@ -323,7 +461,9 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 		}
 		s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, valid))
 	}
-	s.stats.SModel += time.Since(t0)
+	d = time.Since(t0)
+	s.ct.smodelNS.Add(int64(d))
+	sp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseSModel))
 	if opts.WatchCandidate != nil {
 		var assume []sat.Lit
 		for i, vars := range s.holeVars {
@@ -341,14 +481,20 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	return s, nil
 }
 
+// sampleHeap records the heap high-water mark. runtime.ReadMemStats
+// stops the world, so the CEGIS loop reaches this only through
+// maybeSampleHeap (gated by Options.HeapSampleEvery) plus one
+// unconditional sample at the end of Synthesize.
 func (s *Synthesizer) sampleHeap() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	s.statsMu.Lock()
-	if ms.HeapAlloc > s.stats.MaxHeap {
-		s.stats.MaxHeap = ms.HeapAlloc
+	s.ct.heapMax.Max(int64(ms.HeapAlloc))
+}
+
+func (s *Synthesizer) maybeSampleHeap(iter int) {
+	if every := s.opts.HeapSampleEvery; every > 0 && iter%every == 0 {
+		s.sampleHeap()
 	}
-	s.statsMu.Unlock()
 }
 
 // certifyUNSAT snapshots the recorder and replays the proof of the
@@ -362,14 +508,15 @@ func (s *Synthesizer) certifyUNSAT(r *drat.Recorder, assumptions []int, what str
 		return nil, nil
 	}
 	t0 := time.Now()
+	sp := s.tr.Start("proof.certify", s.runSpan.ID())
 	cert := r.Certificate(assumptions)
 	cs, err := cert.Verify()
-	s.statsMu.Lock()
-	s.stats.ProofLemmas += cs.Lemmas
-	s.stats.ProofChecked += cs.Checked
-	s.stats.ProofCore += cs.Core
-	s.stats.ProofCheck += time.Since(t0)
-	s.statsMu.Unlock()
+	d := time.Since(t0)
+	s.ct.proofLemmas.Add(int64(cs.Lemmas))
+	s.ct.proofChecked.Add(int64(cs.Checked))
+	s.ct.proofCore.Add(int64(cs.Core))
+	s.ct.proofCheckNS.Add(int64(d))
+	sp.EndDur(d, obs.Int("lemmas", int64(cs.Lemmas)), obs.Int("checked", int64(cs.Checked)))
 	if err != nil {
 		return nil, fmt.Errorf("core: DRAT replay of %s UNSAT verdict failed: %w", what, err)
 	}
@@ -399,13 +546,18 @@ func (s *Synthesizer) extractCandidate() desugar.Candidate {
 }
 
 // nextCandidate asks the SAT solver for a candidate consistent with all
-// observations so far. err is non-nil only on cancellation.
-func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool, error) {
+// observations so far. err is non-nil only on cancellation. parent is
+// the span the solve nests under (the current iteration).
+func (s *Synthesizer) nextCandidate(parent obs.SpanID) (desugar.Candidate, bool, error) {
+	sp := s.tr.Start("cegis.solve", parent)
+	if s.tr != nil {
+		s.solver.SetSpanParent(sp.ID())
+	}
 	t0 := time.Now()
 	okSat, canceled := s.solver.SolveCancel(s.opts.Cancel)
-	s.statsMu.Lock()
-	s.stats.SSolve += time.Since(t0)
-	s.statsMu.Unlock()
+	d := time.Since(t0)
+	s.ct.ssolveNS.Add(int64(d))
+	sp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseSSolve), obs.Int("sat", b2i(okSat)))
 	if canceled {
 		return nil, false, ErrCanceled
 	}
@@ -418,6 +570,7 @@ func (s *Synthesizer) nextCandidate() (desugar.Candidate, bool, error) {
 // Synthesize runs the appropriate CEGIS loop.
 func (s *Synthesizer) Synthesize() (*Result, error) {
 	start := time.Now()
+	s.runSpan = s.tr.Start("cegis.synthesize", s.opts.TraceParent)
 	var res *Result
 	var err error
 	if s.Prog.Concurrent() {
@@ -426,29 +579,45 @@ func (s *Synthesizer) Synthesize() (*Result, error) {
 		res, err = s.synthesizeSequential()
 	}
 	if err != nil {
+		status := "error"
+		if errors.Is(err, ErrCanceled) {
+			status = "canceled"
+		}
+		s.runSpan.End(obs.Str("status", status))
 		return nil, err
 	}
-	// All worker goroutines are joined by now; the lock is for the
-	// race detector's benefit only.
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	s.stats.SATVars = s.solver.NumVars()
-	s.stats.SATClauses = s.solver.NumClauses()
-	s.stats.SATConfl = s.solver.Conflicts()
-	s.stats.Parallelism = s.opts.Parallelism
+	// All worker goroutines are joined by now, so the solver and the
+	// projection cache are quiescent; fold their end-of-run totals into
+	// the registry (Set, not Add: these are absolute snapshots).
+	s.ct.satVars.Set(int64(s.solver.NumVars()))
+	s.ct.satClauses.Set(int64(s.solver.NumClauses()))
+	s.ct.satConfl.Set(s.solver.Conflicts())
 	if p, ok := s.solver.(*sat.Portfolio); ok {
-		s.stats.SATWorkers = p.WorkerStats()
-		s.stats.SATExported, s.stats.SATImported = 0, 0
-		for _, w := range s.stats.SATWorkers {
-			s.stats.SATExported += w.Exported
-			s.stats.SATImported += w.Imported
+		ws := p.WorkerStats()
+		var exp, imp int64
+		for _, w := range ws {
+			exp += w.Exported
+			imp += w.Imported
 		}
+		s.ct.satExported.Set(exp)
+		s.ct.satImported.Set(imp)
+		s.statsMu.Lock()
+		s.satWorkers = ws
+		s.statsMu.Unlock()
 	}
 	if c := s.projCache; c != nil {
-		s.stats.ProjHits, s.stats.ProjMisses, s.stats.ProjSaved = c.Hits, c.Misses, c.SavedEntries
+		s.ct.projHits.Set(c.Hits)
+		s.ct.projMisses.Set(c.Misses)
+		s.ct.projSaved.Set(c.SavedEntries)
 	}
-	s.stats.Total = time.Since(start)
-	res.Stats = s.stats
+	s.sampleHeap()
+	total := time.Since(start)
+	s.ct.totalNS.Set(int64(total))
+	res.Stats = s.statsView()
+	s.runSpan.EndDur(total,
+		obs.Str("status", "done"),
+		obs.Int("resolved", b2i(res.Resolved)),
+		obs.Int("iterations", s.ct.iterations.Get()))
 	return res, nil
 }
 
@@ -464,8 +633,9 @@ type specResult struct {
 // a goroutine solves under the assumption specAct and extracts the
 // model. The goroutine owns s.solver until its channel delivers; the
 // driver must join (receive) before touching the solver again. cancel
-// tears the solve down without a verdict.
-func (s *Synthesizer) startSpec(cand desugar.Candidate) (<-chan specResult, *atomic.Bool) {
+// tears the solve down without a verdict. parent is the span the
+// speculative solve nests under (the iteration that launched it).
+func (s *Synthesizer) startSpec(cand desugar.Candidate, parent obs.SpanID) (<-chan specResult, *atomic.Bool) {
 	if s.specAct < 0 {
 		s.specAct = s.solver.NewVar()
 	}
@@ -478,6 +648,12 @@ func (s *Synthesizer) startSpec(cand desugar.Candidate) (<-chan specResult, *ato
 	}
 	s.solver.AddClause(lits...)
 
+	sp := s.tr.Start("cegis.spec", parent)
+	if s.tr != nil {
+		// Safe before the goroutine launches: the driver does not touch
+		// the solver again until it joins the result channel.
+		s.solver.SetSpanParent(sp.ID())
+	}
 	cancel := &atomic.Bool{}
 	ch := make(chan specResult, 1)
 	go func() {
@@ -489,10 +665,12 @@ func (s *Synthesizer) startSpec(cand desugar.Candidate) (<-chan specResult, *ato
 			r.found = true
 			r.cand = s.extractCandidate()
 		}
-		s.statsMu.Lock()
-		s.stats.SpecSolves++
-		s.stats.SpecSolve += dur
-		s.statsMu.Unlock()
+		s.ct.specSolves.Add(1)
+		s.ct.specNS.Add(int64(dur))
+		sp.EndDur(dur,
+			obs.Str(obs.AttrPhase, obs.PhaseSpec),
+			obs.Int("found", b2i(r.found)),
+			obs.Int("canceled", b2i(canceled)))
 		ch <- r
 	}()
 	return ch, cancel
@@ -520,20 +698,29 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 	var cand desugar.Candidate
 	haveCand := false
 	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
-		s.statsMu.Lock()
-		s.stats.Iterations = iter
-		s.statsMu.Unlock()
+		s.ct.iterations.Set(int64(iter))
 		if s.canceled() {
 			return nil, ErrCanceled
 		}
+		isp := s.tr.Start(obs.SpanIteration, s.runSpan.ID())
+		endIter := func(status string, states, traces int) {
+			if isp.Active() {
+				isp.End(obs.Int("iter", int64(iter)),
+					obs.Str("status", status),
+					obs.Int("states", int64(states)),
+					obs.Int("traces", int64(traces)))
+			}
+		}
 		if !haveCand {
-			c, ok, err := s.nextCandidate()
+			c, ok, err := s.nextCandidate(isp.ID())
 			if err != nil {
+				endIter("canceled", 0, 0)
 				return nil, err
 			}
 			if !ok {
 				s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
 				cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+				endIter("exhausted", 0, 0)
 				if cerr != nil {
 					return nil, cerr
 				}
@@ -547,7 +734,7 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 		var specCh <-chan specResult
 		var specCancel *atomic.Bool
 		if pipelined {
-			specCh, specCancel = s.startSpec(cand)
+			specCh, specCancel = s.startSpec(cand, isp.ID())
 		}
 		joinSpec := func(cancel bool) specResult {
 			if specCh == nil {
@@ -561,6 +748,7 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			return r
 		}
 
+		vsp := s.tr.Start("cegis.verify", isp.ID())
 		t0 := time.Now()
 		mres, err := mc.Check(s.Layout, cand, mc.Options{
 			MaxStates:   s.opts.MCMaxStates,
@@ -568,32 +756,38 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			Parallelism: s.opts.Parallelism,
 			NoPOR:       s.opts.NoPOR,
 			Cancel:      s.opts.Cancel,
+			Tracer:      s.tr,
+			ParentSpan:  vsp.ID(),
 		})
-		s.statsMu.Lock()
-		s.stats.VSolve += time.Since(t0)
-		s.statsMu.Unlock()
+		d := time.Since(t0)
+		s.ct.vsolveNS.Add(int64(d))
+		vsp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseVSolve))
 		if err != nil {
 			joinSpec(true)
 			if errors.Is(err, mc.ErrCanceled) {
 				err = ErrCanceled
+				endIter("canceled", 0, 0)
+			} else {
+				endIter("error", 0, 0)
 			}
 			return nil, err
 		}
+		s.ct.mcStates.Add(int64(mres.States))
+		s.ct.mcTrans.Add(int64(mres.Trans))
 		s.statsMu.Lock()
-		s.stats.MCStates += mres.States
-		s.stats.MCTrans += mres.Trans
-		for len(s.stats.MCWorkerStates) < len(mres.WorkerStates) {
-			s.stats.MCWorkerStates = append(s.stats.MCWorkerStates, 0)
+		for len(s.mcWorkerStates) < len(mres.WorkerStates) {
+			s.mcWorkerStates = append(s.mcWorkerStates, 0)
 		}
 		for i, n := range mres.WorkerStates {
-			s.stats.MCWorkerStates[i] += n
+			s.mcWorkerStates[i] += n
 		}
 		s.statsMu.Unlock()
-		s.sampleHeap()
+		s.maybeSampleHeap(iter)
 		if mres.OK {
 			// The speculative next candidate is moot; tear it down.
 			joinSpec(true)
 			s.opts.Verbose("iteration %d: candidate verified (%d states)", iter, mres.States)
+			endIter("resolved", mres.States, 0)
 			return &Result{Resolved: true, Candidate: cand}, nil
 		}
 		lastTrace = mres.Trace
@@ -605,6 +799,11 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 		// the unpipelined loop would now run in the foreground.
 		spec := joinSpec(false)
 
+		psp := s.tr.Start("cegis.project", isp.ID())
+		if s.tr != nil {
+			s.projCache.Tracer = s.tr
+			s.projCache.Parent = psp.ID()
+		}
 		t0 = time.Now()
 		refuted := false
 		specAlive := spec.found
@@ -617,6 +816,7 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			entries := project.Build(s.Prog, tr)
 			failLit, err := s.projCache.Encode(entries)
 			if err != nil {
+				endIter("error", mres.States, len(mres.Traces))
 				return nil, err
 			}
 			s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, failLit.Not()))
@@ -629,10 +829,12 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 				specAlive = false
 			}
 		}
-		s.statsMu.Lock()
-		s.stats.SModel += time.Since(t0)
-		s.statsMu.Unlock()
-		s.sampleHeap()
+		d = time.Since(t0)
+		s.ct.smodelNS.Add(int64(d))
+		psp.EndDur(d,
+			obs.Str(obs.AttrPhase, obs.PhaseSModel),
+			obs.Int("traces", int64(len(mres.Traces))))
+		s.maybeSampleHeap(iter)
 
 		// Guard against projections too weak to eliminate the failing
 		// candidate (would loop forever): exclude it explicitly then.
@@ -656,13 +858,12 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			// The speculative model satisfies every constraint learned
 			// this iteration (and, by construction, everything earlier):
 			// adopt it and skip the next blocking solve entirely.
-			s.statsMu.Lock()
-			s.stats.SpecHits++
-			s.statsMu.Unlock()
+			s.ct.specHits.Add(1)
 			s.opts.Verbose("iteration %d: speculative candidate %v survived the new constraints", iter, spec.cand)
 			cand = spec.cand
 			haveCand = true
 		}
+		endIter("refuted", mres.States, len(mres.Traces))
 	}
 	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
 }
@@ -696,18 +897,24 @@ func (s *Synthesizer) excludeCandidate(cand desugar.Candidate) {
 // become observations.
 func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 	for iter := 1; iter <= s.opts.MaxIterations; iter++ {
-		s.statsMu.Lock()
-		s.stats.Iterations = iter
-		s.statsMu.Unlock()
+		s.ct.iterations.Set(int64(iter))
 		if s.canceled() {
 			return nil, ErrCanceled
 		}
-		cand, ok, err := s.nextCandidate()
+		isp := s.tr.Start(obs.SpanIteration, s.runSpan.ID())
+		endIter := func(status string) {
+			if isp.Active() {
+				isp.End(obs.Int("iter", int64(iter)), obs.Str("status", status))
+			}
+		}
+		cand, ok, err := s.nextCandidate(isp.ID())
 		if err != nil {
+			endIter("canceled")
 			return nil, err
 		}
 		if !ok {
 			cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+			endIter("exhausted")
 			if cerr != nil {
 				return nil, cerr
 			}
@@ -715,23 +922,32 @@ func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 		}
 		s.opts.Verbose("iteration %d: verifying candidate %v", iter, cand)
 
-		cex, verr := s.verifySequential(cand)
+		cex, verr := s.verifySequential(cand, isp.ID())
 		if verr != nil {
+			if errors.Is(verr, ErrCanceled) {
+				endIter("canceled")
+			} else {
+				endIter("error")
+			}
 			return nil, verr
 		}
-		s.sampleHeap()
+		s.maybeSampleHeap(iter)
 		if cex == nil {
+			endIter("resolved")
 			return &Result{Resolved: true, Candidate: cand, Certificate: s.vcert}, nil
 		}
 		s.opts.Verbose("iteration %d: counterexample input %v", iter, cex)
 
+		osp := s.tr.Start("cegis.observe", isp.ID())
 		t0 := time.Now()
 		if err := s.addInputObservation(cex); err != nil {
+			endIter("error")
 			return nil, err
 		}
-		s.statsMu.Lock()
-		s.stats.SModel += time.Since(t0)
-		s.statsMu.Unlock()
+		d := time.Since(t0)
+		s.ct.smodelNS.Add(int64(d))
+		osp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseSModel))
+		endIter("refuted")
 	}
 	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
 }
@@ -810,11 +1026,13 @@ func (s *Synthesizer) equivalenceViolation(vb *circuit.Builder, holes []circuit.
 // across iterations (building a fresh backend — a whole portfolio under
 // parallelism — per candidate dominated small-benchmark verify time);
 // the candidate's violation goal is a Solve assumption, never a clause.
-func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error) {
+func (s *Synthesizer) verifySequential(cand desugar.Candidate, parent obs.SpanID) ([][]int64, error) {
+	esp := s.tr.Start("verify.encode", parent)
 	t0 := time.Now()
 	if s.verifier == nil {
 		s.vb = circuit.NewBuilder()
 		s.verifier = newSolver(s.opts.Parallelism, s.opts.NoShareClauses)
+		s.verifier.SetTracer(s.opts.Trace)
 		if s.opts.Proof {
 			s.vproof = drat.NewRecorder()
 			s.verifier.SetProof(s.vproof)
@@ -847,15 +1065,19 @@ func (s *Synthesizer) verifySequential(cand desugar.Candidate) ([][]int64, error
 	}
 	vs, vm := s.verifier, s.vvmap
 	goal := vb.ToSAT(vs, vm, violation)
-	s.statsMu.Lock()
-	s.stats.VModel += time.Since(t0)
-	s.statsMu.Unlock()
+	d := time.Since(t0)
+	s.ct.vmodelNS.Add(int64(d))
+	esp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseVModel))
 
+	ssp := s.tr.Start("verify.solve", parent)
+	if s.tr != nil {
+		vs.SetSpanParent(ssp.ID())
+	}
 	t0 = time.Now()
 	found, canceled := vs.SolveCancel(s.opts.Cancel, goal)
-	s.statsMu.Lock()
-	s.stats.VSolve += time.Since(t0)
-	s.statsMu.Unlock()
+	d = time.Since(t0)
+	s.ct.vsolveNS.Add(int64(d))
+	ssp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseVSolve), obs.Int("sat", b2i(found)))
 	if canceled {
 		return nil, ErrCanceled
 	}

@@ -52,6 +52,7 @@ import (
 	"psketch/internal/desugar"
 	"psketch/internal/interp"
 	"psketch/internal/ir"
+	"psketch/internal/obs"
 	"psketch/internal/state"
 )
 
@@ -126,6 +127,12 @@ type Options struct {
 	// pipelined CEGIS loop uses this to abandon a verification the
 	// speculative solver has already made moot.
 	Cancel *atomic.Bool
+	// Tracer, when set, emits one "mc.check" span per Check (states,
+	// transitions, POR-pruned and sleep-set-skipped transition counts)
+	// with one "mc.worker" child per parallel shard worker, parented
+	// under ParentSpan. Nil keeps the DFS hot path allocation-free.
+	Tracer     *obs.Tracer
+	ParentSpan obs.SpanID
 }
 
 // ErrCanceled is returned by Check when Options.Cancel fired before the
@@ -163,29 +170,60 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 		m.pt = buildPOR(l, ir.Footprints(p, cand))
 	}
 	m.initEval()
+	m.span = opts.Tracer.Start("mc.check", opts.ParentSpan)
 
 	st := l.NewState()
 	// Global initializers and prologue run deterministically.
 	for _, seq := range []*ir.Seq{p.GlobalInit, p.Prologue} {
 		if fail := m.runSequential(st, seq); fail != nil {
 			tr := &Trace{Failure: fail, Phase: PhasePrologue, FailThread: -1}
-			return &Result{OK: false, Trace: tr, Traces: []*Trace{tr}}, nil
+			res := &Result{OK: false, Trace: tr, Traces: []*Trace{tr}}
+			m.endSpan(res, nil)
+			return res, nil
 		}
 	}
 
 	if opts.Parallelism > 1 && opts.Hook == nil {
-		return m.checkParallel(st)
+		res, err := m.checkParallel(st)
+		m.endSpan(res, err)
+		return res, err
 	}
 
 	var path []Event
 	if err := m.dfs(st, &path); err != nil {
+		m.endSpan(nil, err)
 		return nil, err
 	}
 	res := &Result{OK: len(m.traces) == 0, Traces: m.traces, States: m.states, Trans: m.trans}
 	if !res.OK {
 		res.Trace = m.traces[0]
 	}
+	m.endSpan(res, nil)
 	return res, nil
+}
+
+// endSpan finishes the mc.check span with the search totals. The
+// parallel path has already folded its workers' counters into m.
+func (m *checker) endSpan(res *Result, err error) {
+	if !m.span.Active() {
+		return
+	}
+	if err != nil || res == nil {
+		m.span.End(obs.Str("status", "error"))
+		return
+	}
+	ok := int64(0)
+	if res.OK {
+		ok = 1
+	}
+	m.span.End(
+		obs.Int("ok", ok),
+		obs.Int("states", int64(res.States)),
+		obs.Int("trans", int64(res.Trans)),
+		obs.Int("traces", int64(len(res.Traces))),
+		obs.Int("workers", int64(res.Workers)),
+		obs.Int("por_pruned", m.porPruned),
+		obs.Int("sleep_skips", m.sleepSkips))
 }
 
 type checker struct {
@@ -201,6 +239,14 @@ type checker struct {
 	states int
 	trans  int
 	traces []*Trace
+
+	// POR effectiveness counters (plain int adds on the hot path, no
+	// allocation): transitions dropped by the persistent-set choice, and
+	// transitions skipped because the sleep set already covered them.
+	// Reported as mc.check span attributes when tracing is on.
+	porPruned  int64
+	sleepSkips int64
+	span       obs.Span // the in-flight mc.check span (inactive when untraced)
 
 	// Hot-path scratch: long-lived evaluation contexts (one per thread,
 	// retargeted at the state under evaluation), a freelist of state
@@ -389,12 +435,15 @@ func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
 			pmask := enabled
 			if m.por {
 				pmask = m.pt.persistentSet(st, enabled, unfin)
+				m.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
 			}
 			m.tab.pm[idx] = pmaskKnown | pmask
 		}
 	}
 	pmask := m.tab.pm[idx] &^ pmaskKnown
-	todo := pmask &^ sleep &^ m.tab.done[idx]
+	avail := pmask &^ m.tab.done[idx]
+	m.sleepSkips += int64(bits.OnesCount64(avail & sleep))
+	todo := avail &^ sleep
 	if todo == 0 {
 		return nil
 	}

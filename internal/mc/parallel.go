@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"psketch/internal/interp"
+	"psketch/internal/obs"
 	"psketch/internal/state"
 )
 
@@ -183,6 +184,7 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 				pmask = enabled
 				if w.por {
 					pmask = w.pt.persistentSet(st, enabled, unfin)
+					w.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
 				}
 			}
 		} else if tr == nil && unfinished > 0 && enabled != 0 {
@@ -194,6 +196,7 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 			}
 		}
 	}
+	w.sleepSkips += int64(bits.OnesCount64(pmask & sleep))
 	todo := w.sh.visited.claim(k, pmaskKnown|pmask, pmask&^sleep)
 	if todo == 0 {
 		return nil
@@ -298,6 +301,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 	pmask := enabled
 	if m.por {
 		pmask = m.pt.persistentSet(st, enabled, unfin)
+		m.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
 	}
 	sh.visited.claim(rootKey, pmaskKnown|pmask, pmask)
 
@@ -340,6 +344,8 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 		workers = len(shards)
 	}
 	perWorker := make([]int, workers)
+	perPruned := make([]int64, workers)
+	perSleep := make([]int64, workers)
 	if workers > 0 && !sh.cancel.Load() {
 		queue := make(chan shard, len(shards))
 		for _, s := range shards {
@@ -351,6 +357,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
+				wsp := m.opts.Tracer.Start("mc.worker", m.span.ID())
 				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts, por: m.por, pt: m.pt}, sh: sh}
 				w.initEval()
 				for s := range queue {
@@ -364,9 +371,23 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 					}
 				}
 				perWorker[id] = int(w.expanded)
+				perPruned[id] = w.porPruned
+				perSleep[id] = w.sleepSkips
+				if wsp.Active() {
+					wsp.End(obs.Int("worker", int64(id)),
+						obs.Int("states", w.expanded),
+						obs.Int("por_pruned", w.porPruned),
+						obs.Int("sleep_skips", w.sleepSkips))
+				}
 			}(i)
 		}
 		wg.Wait()
+	}
+	// Fold the workers' POR counters into the parent checker so the
+	// mc.check span reports whole-search totals.
+	for i := 0; i < workers; i++ {
+		m.porPruned += perPruned[i]
+		m.sleepSkips += perSleep[i]
 	}
 	if sh.err != nil {
 		return nil, sh.err

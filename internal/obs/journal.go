@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// journalVersion is bumped when the line format changes incompatibly.
+const journalVersion = 1
+
+// journalLine is the on-disk shape of every JSONL line. One of three
+// kinds, distinguished by which fields are set:
+//
+//   - header:  {"psketch_journal":1,"meta":{...}}       (first line)
+//   - span:    {"name":...,"id":...,"start_ns":...}     (one per span)
+//   - metrics: {"metrics":{"cegis.ssolve_ns":123,...}}  (trailer)
+//
+// Span attributes serialize as a JSON object; values are int64 or
+// string, matching Attr's unboxed union.
+type journalLine struct {
+	Version int               `json:"psketch_journal,omitempty"`
+	Meta    map[string]string `json:"meta,omitempty"`
+
+	Name    string         `json:"name,omitempty"`
+	ID      uint64         `json:"id,omitempty"`
+	Parent  uint64         `json:"parent,omitempty"`
+	StartNS int64          `json:"start_ns,omitempty"`
+	DurNS   int64          `json:"dur_ns,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// JournalSink writes spans as JSON Lines to w. Emit is goroutine-safe;
+// output is buffered, so Close (or Flush) must run before the
+// underlying writer is read or closed. The caller owns w.
+type JournalSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJournalSink starts a journal on w, writing the header line with
+// the given metadata (nil is fine).
+func NewJournalSink(w io.Writer, meta map[string]string) *JournalSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JournalSink{w: bw, enc: json.NewEncoder(bw)}
+	s.encode(journalLine{Version: journalVersion, Meta: meta})
+	return s
+}
+
+func (s *JournalSink) encode(l journalLine) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(l)
+}
+
+// Emit writes one span record.
+func (s *JournalSink) Emit(rec SpanRecord) {
+	l := journalLine{
+		Name:    rec.Name,
+		ID:      uint64(rec.ID),
+		Parent:  uint64(rec.Parent),
+		StartNS: rec.Start,
+		DurNS:   rec.Dur,
+	}
+	if len(rec.Attrs) > 0 {
+		l.Attrs = make(map[string]any, len(rec.Attrs))
+		for _, a := range rec.Attrs {
+			if a.IsStr {
+				l.Attrs[a.Key] = a.Str
+			} else {
+				l.Attrs[a.Key] = a.Int
+			}
+		}
+	}
+	s.mu.Lock()
+	s.encode(l)
+	s.mu.Unlock()
+}
+
+// WriteMetrics appends a metrics-snapshot trailer line (typically the
+// final registry state; psktrace cross-checks span totals against it).
+func (s *JournalSink) WriteMetrics(snap map[string]int64) {
+	if len(snap) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.encode(journalLine{Metrics: snap})
+	s.mu.Unlock()
+}
+
+// Close flushes the buffer and returns the first error seen anywhere
+// in the journal's lifetime. It does not close the underlying writer.
+func (s *JournalSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Journal is a parsed run journal.
+type Journal struct {
+	Meta    map[string]string
+	Spans   []SpanRecord
+	Metrics map[string]int64 // nil when the run wrote no trailer
+}
+
+// ReadJournal parses a JSONL journal. Unknown line kinds are rejected;
+// multiple metrics trailers merge (later wins), so journals
+// concatenated from phases still parse.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	first := true
+	for n := 1; ; n++ {
+		var l journalLine
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", n, err)
+		}
+		switch {
+		case l.Version != 0:
+			if l.Version != journalVersion {
+				return nil, fmt.Errorf("obs: journal version %d (reader supports %d)", l.Version, journalVersion)
+			}
+			if first {
+				j.Meta = l.Meta
+			}
+		case l.Metrics != nil:
+			if j.Metrics == nil {
+				j.Metrics = make(map[string]int64, len(l.Metrics))
+			}
+			for k, v := range l.Metrics {
+				j.Metrics[k] = v
+			}
+		case l.Name != "":
+			rec := SpanRecord{
+				ID:     SpanID(l.ID),
+				Parent: SpanID(l.Parent),
+				Name:   l.Name,
+				Start:  l.StartNS,
+				Dur:    l.DurNS,
+			}
+			if len(l.Attrs) > 0 {
+				rec.Attrs = make([]Attr, 0, len(l.Attrs))
+				keys := make([]string, 0, len(l.Attrs))
+				for k := range l.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					switch v := l.Attrs[k].(type) {
+					case string:
+						rec.Attrs = append(rec.Attrs, Str(k, v))
+					case float64:
+						rec.Attrs = append(rec.Attrs, Int(k, int64(v)))
+					case json.Number:
+						iv, err := v.Int64()
+						if err != nil {
+							return nil, fmt.Errorf("obs: journal line %d: attr %q: %w", n, k, err)
+						}
+						rec.Attrs = append(rec.Attrs, Int(k, iv))
+					default:
+						return nil, fmt.Errorf("obs: journal line %d: attr %q has unsupported type %T", n, k, v)
+					}
+				}
+			}
+			j.Spans = append(j.Spans, rec)
+		default:
+			return nil, fmt.Errorf("obs: journal line %d: unrecognized line", n)
+		}
+		first = false
+	}
+	return j, nil
+}
+
+// ReadJournalString is ReadJournal over an in-memory journal (tests
+// and the psktrace golden files).
+func ReadJournalString(s string) (*Journal, error) {
+	return ReadJournal(strings.NewReader(s))
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records emitted spans in order.
+type collectSink struct {
+	mu   sync.Mutex
+	recs []SpanRecord
+}
+
+func (c *collectSink) Emit(rec SpanRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+func TestNestedSpanOrdering(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	root := tr.Start("root", 0)
+	child := tr.Start("child", root.ID())
+	grand := tr.Start("grand", child.ID())
+	grand.End(Int("n", 1))
+	child.End()
+	root.End(Str("status", "done"))
+
+	if len(sink.recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(sink.recs))
+	}
+	// Spans are emitted at End, so innermost-first.
+	names := []string{sink.recs[0].Name, sink.recs[1].Name, sink.recs[2].Name}
+	if !reflect.DeepEqual(names, []string{"grand", "child", "root"}) {
+		t.Fatalf("emit order %v, want [grand child root]", names)
+	}
+	g, c, r := sink.recs[0], sink.recs[1], sink.recs[2]
+	if g.Parent != c.ID || c.Parent != r.ID || r.Parent != 0 {
+		t.Fatalf("parent chain broken: grand.Parent=%d child.ID=%d child.Parent=%d root.ID=%d root.Parent=%d",
+			g.Parent, c.ID, c.Parent, r.ID, r.Parent)
+	}
+	if r.ID == 0 || c.ID == 0 || g.ID == 0 {
+		t.Fatal("active spans must have non-zero IDs")
+	}
+	if r.Start > c.Start || c.Start > g.Start {
+		t.Fatalf("start times not monotone down the stack: %d %d %d", r.Start, c.Start, g.Start)
+	}
+	if g.IntAttr("n") != 1 || r.StrAttr("status") != "done" {
+		t.Fatal("attributes lost in emission")
+	}
+}
+
+func TestNilTracerAndNilMetrics(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", 7)
+	if sp.Active() || sp.ID() != 0 {
+		t.Fatal("nil-tracer span must be inactive with ID 0")
+	}
+	sp.End(Int("k", 1)) // must not panic
+	sp.EndDur(time.Second)
+	if !tr.Epoch().IsZero() {
+		t.Fatal("nil tracer epoch should be zero")
+	}
+
+	var m *Metrics
+	c := m.Counter("x")
+	c.Add(1)
+	c.Set(2)
+	c.Max(3)
+	if c.Get() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	if m.Snapshot() != nil {
+		t.Fatal("nil metrics snapshot should be nil")
+	}
+}
+
+func TestEndDurOverridesWallClock(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	sp := tr.Start("solve", 0)
+	sp.EndDur(123 * time.Millisecond)
+	if got := sink.recs[0].Dur; got != int64(123*time.Millisecond) {
+		t.Fatalf("EndDur stored %d, want %d", got, int64(123*time.Millisecond))
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	js := NewJournalSink(&buf, map[string]string{"test": "concurrent"})
+	tr := NewTracer(js)
+	m := NewMetrics()
+
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.Counter("n")
+			for i := 0; i < each; i++ {
+				sp := tr.Start(fmt.Sprintf("w%d", w), 0)
+				sp.End(Int("i", int64(i)))
+				c.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	js.WriteMetrics(m.Snapshot())
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Spans) != workers*each {
+		t.Fatalf("got %d spans, want %d", len(j.Spans), workers*each)
+	}
+	if j.Metrics["n"] != workers*each {
+		t.Fatalf("counter n = %d, want %d", j.Metrics["n"], workers*each)
+	}
+	seen := map[SpanID]bool{}
+	for _, r := range j.Spans {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	ring := NewRingSink(4)
+	tr := NewTracer(ring)
+	for i := 1; i <= 10; i++ {
+		sp := tr.Start(fmt.Sprintf("s%d", i), 0)
+		sp.EndDur(time.Duration(i))
+	}
+	got := ring.Spans()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(got))
+	}
+	for i, r := range got {
+		want := fmt.Sprintf("s%d", 7+i)
+		if r.Name != want {
+			t.Fatalf("ring[%d] = %s, want %s (oldest first)", i, r.Name, want)
+		}
+	}
+	// A partially full ring returns only what was emitted.
+	small := NewRingSink(8)
+	small.Emit(SpanRecord{ID: 1, Name: "only"})
+	if got := small.Spans(); len(got) != 1 || got[0].Name != "only" {
+		t.Fatalf("partial ring: %v", got)
+	}
+	// Dump produces a journal psktrace can read.
+	var buf bytes.Buffer
+	if err := ring.Dump(&buf, map[string]string{"kind": "flight"}, map[string]int64{"m": 9}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Spans) != 4 || j.Meta["kind"] != "flight" || j.Metrics["m"] != 9 {
+		t.Fatalf("dump round-trip: spans=%d meta=%v metrics=%v", len(j.Spans), j.Meta, j.Metrics)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	js := NewJournalSink(&buf, map[string]string{"cmd": "test", "host": "ci"})
+	want := []SpanRecord{
+		{ID: 1, Parent: 0, Name: "root", Start: 10, Dur: 100,
+			Attrs: []Attr{Int("iter", 3), Str("phase", "vsolve")}},
+		{ID: 2, Parent: 1, Name: "child", Start: 20, Dur: 30},
+	}
+	for _, r := range want {
+		js.Emit(r)
+	}
+	js.WriteMetrics(map[string]int64{"cegis.iterations": 3, "mc.states": 1234})
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	j, err := ReadJournalString(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Meta["cmd"] != "test" || j.Meta["host"] != "ci" {
+		t.Fatalf("meta: %v", j.Meta)
+	}
+	if j.Metrics["cegis.iterations"] != 3 || j.Metrics["mc.states"] != 1234 {
+		t.Fatalf("metrics: %v", j.Metrics)
+	}
+	if !reflect.DeepEqual(j.Spans, want) {
+		t.Fatalf("spans:\n got %+v\nwant %+v", j.Spans, want)
+	}
+
+	// Concatenated journals (phases appended to one file) still parse:
+	// the first header's meta wins and metrics trailers merge.
+	cat, err := ReadJournalString(data + data)
+	if err != nil {
+		t.Fatalf("concatenated journal: %v", err)
+	}
+	if len(cat.Spans) != 2*len(want) || cat.Meta["cmd"] != "test" || cat.Metrics["mc.states"] != 1234 {
+		t.Fatalf("concatenated journal: spans=%d meta=%v metrics=%v", len(cat.Spans), cat.Meta, cat.Metrics)
+	}
+}
+
+func TestJournalRejectsGarbage(t *testing.T) {
+	if _, err := ReadJournalString("{\"weird\":true}\n"); err == nil {
+		t.Fatal("unrecognized line must error")
+	}
+	if _, err := ReadJournalString("{\"psketch_journal\":99}\n"); err == nil {
+		t.Fatal("future version must error")
+	}
+	if _, err := ReadJournalString("not json"); err == nil {
+		t.Fatal("non-JSON must error")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := &collectSink{}, &collectSink{}
+	if MultiSink() != nil || MultiSink(nil, nil) != nil {
+		t.Fatal("all-nil MultiSink must collapse to nil")
+	}
+	if got := MultiSink(nil, a); got != Sink(a) {
+		t.Fatal("single survivor should be returned unwrapped")
+	}
+	s := MultiSink(a, nil, b)
+	s.Emit(SpanRecord{ID: 1, Name: "x"})
+	if len(a.recs) != 1 || len(b.recs) != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", len(a.recs), len(b.recs))
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c")
+	c.Add(5)
+	c.Add(-2)
+	if c.Get() != 3 {
+		t.Fatalf("Add: %d", c.Get())
+	}
+	c.Set(10)
+	if c.Get() != 10 {
+		t.Fatalf("Set: %d", c.Get())
+	}
+	c.Max(7)
+	if c.Get() != 10 {
+		t.Fatal("Max must not lower")
+	}
+	c.Max(12)
+	if c.Get() != 12 {
+		t.Fatal("Max must raise")
+	}
+	if m.Counter("c") != c {
+		t.Fatal("Counter handles must be stable")
+	}
+	m.Counter("a").Set(1)
+	var names []string
+	m.Do(func(name string, v int64) { names = append(names, name) })
+	if !reflect.DeepEqual(names, []string{"a", "c"}) {
+		t.Fatalf("Do order: %v", names)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("cegis.iterations").Set(42)
+	srv, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Skipf("cannot bind a loopback port: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["cegis.iterations"] != 42 {
+		t.Fatalf("metrics endpoint: %v", snap)
+	}
+
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint: %s", resp2.Status)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// RingSink is the flight recorder: a fixed-capacity ring of the most
+// recent spans, kept in memory at near-zero cost and dumped only when
+// something goes wrong (an error or a timeout), so long runs get
+// post-mortem traces without paying for a journal file.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int
+	wrapped bool
+}
+
+// NewRingSink builds a flight recorder holding the last n spans
+// (n < 1 is treated as 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]SpanRecord, n)}
+}
+
+// Emit records a span, evicting the oldest once full.
+func (s *RingSink) Emit(rec SpanRecord) {
+	s.mu.Lock()
+	s.buf[s.next] = rec
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+	s.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first.
+func (s *RingSink) Spans() []SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		return append([]SpanRecord(nil), s.buf[:s.next]...)
+	}
+	out := make([]SpanRecord, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Dump writes the ring's contents to w as a well-formed journal
+// (header + spans + optional metrics trailer), so psktrace can read a
+// flight-recorder dump like any other journal.
+func (s *RingSink) Dump(w io.Writer, meta map[string]string, metrics map[string]int64) error {
+	js := NewJournalSink(w, meta)
+	for _, rec := range s.Spans() {
+		js.Emit(rec)
+	}
+	js.WriteMetrics(metrics)
+	return js.Close()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func readTestJournal(t *testing.T, name string) *Journal {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := ReadJournalString(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden output; rerun with -update after verifying.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestSummarizeGolden pins psktrace's summary rendering: phase totals
+// with the metrics cross-check, the aggregated time tree, the per-
+// iteration table, and the hottest-spans list.
+func TestSummarizeGolden(t *testing.T) {
+	j := readTestJournal(t, "sample.jsonl")
+	var buf bytes.Buffer
+	Summarize(&buf, j, 5)
+	checkGolden(t, "summary.golden", buf.Bytes())
+}
+
+// TestDiffGolden pins psktrace -diff's rendering over a journal pair
+// where verification regressed ~2x.
+func TestDiffGolden(t *testing.T) {
+	old := readTestJournal(t, "sample.jsonl")
+	new := readTestJournal(t, "sample2.jsonl")
+	var buf bytes.Buffer
+	Diff(&buf, old, new)
+	checkGolden(t, "diff.golden", buf.Bytes())
+}
+
+// TestPhaseTotalsAgree asserts the invariant the golden journal is
+// built on: span phase totals equal the metrics-registry counters.
+func TestPhaseTotalsAgree(t *testing.T) {
+	j := readTestJournal(t, "sample.jsonl")
+	totals := j.PhaseTotals()
+	for _, p := range Phases {
+		if st, mt := totals[p], j.Metrics[PhaseCounter(p)]; st != mt {
+			t.Errorf("phase %s: spans %d vs metrics %d", p, st, mt)
+		}
+	}
+}
+
+func TestIterationRows(t *testing.T) {
+	j := readTestJournal(t, "sample.jsonl")
+	rows := IterationRows(j)
+	if len(rows) != 2 {
+		t.Fatalf("got %d iteration rows, want 2", len(rows))
+	}
+	if rows[0].Iter != 1 || rows[1].Iter != 2 {
+		t.Fatalf("iteration order: %d, %d", rows[0].Iter, rows[1].Iter)
+	}
+	if rows[0].States != 1000 || rows[0].Traces != 1 {
+		t.Fatalf("row 1 attrs: states=%d traces=%d", rows[0].States, rows[0].Traces)
+	}
+	if rows[0].Children["cegis.verify"] != 20000000 {
+		t.Fatalf("row 1 verify child: %d", rows[0].Children["cegis.verify"])
+	}
+}

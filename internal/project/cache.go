@@ -2,6 +2,7 @@ package project
 
 import (
 	"psketch/internal/circuit"
+	"psketch/internal/obs"
 	"psketch/internal/state"
 	"psketch/internal/sym"
 )
@@ -40,6 +41,12 @@ type Cache struct {
 	// Misses counts calls replayed from the base state. SavedEntries
 	// totals the projected entries skipped via restore.
 	Hits, Misses, SavedEntries int64
+
+	// Tracer, when set, emits one "project.encode" span per Encode
+	// under Parent (the synthesizer repoints Parent at the current
+	// iteration's projection span). Nil costs nothing.
+	Tracer *obs.Tracer
+	Parent obs.SpanID
 }
 
 // NewCache builds a cache bound to a builder/layout/holes triple. The
@@ -83,6 +90,7 @@ func prefixKeys(entries []Entry) []string {
 // Encode is Encode (package function) with prefix memoization. The
 // returned literal is identical to the uncached encoding's.
 func (c *Cache) Encode(entries []Entry) (circuit.Lit, error) {
+	sp := c.Tracer.Start("project.encode", c.Parent)
 	keys := prefixKeys(entries)
 
 	// Longest memoized prefix wins.
@@ -118,5 +126,18 @@ func (c *Cache) Encode(entries []Entry) (circuit.Lit, error) {
 	}
 	// finishEncode mutates the evaluator past the last snapshot; that
 	// is fine — every later Encode starts from a Restore.
-	return finishEncode(c.b, c.e, c.l.Prog, st)
+	lit, err := finishEncode(c.b, c.e, c.l.Prog, st)
+	if sp.Active() {
+		sp.End(obs.Int("entries", int64(len(entries))),
+			obs.Int("restored", int64(start)),
+			obs.Int("hit", hitFlag(start)))
+	}
+	return lit, err
+}
+
+func hitFlag(start int) int64 {
+	if start > 0 {
+		return 1
+	}
+	return 0
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"psketch/internal/drat"
+	"psketch/internal/obs"
 )
 
 // WorkerStats summarizes one portfolio worker's lifetime work.
@@ -45,6 +46,11 @@ type Portfolio struct {
 	pool   *sharedPool
 	winner int
 	wins   []int64
+
+	// Tracing (see trace.go): nil tr disables; spanParent is the span
+	// the next solve's "sat.solve" span nests under.
+	tr         *obs.Tracer
+	spanParent obs.SpanID
 }
 
 // NewPortfolio returns a portfolio of n diversified workers (n < 1 is
@@ -177,6 +183,13 @@ func (p *Portfolio) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, c
 		p.wins[0]++
 		return ok, false
 	}
+	sp := p.tr.Start("sat.solve", p.spanParent)
+	if sp.Active() {
+		// Repoint before the goroutines launch; workers are quiescent.
+		for _, w := range p.ws {
+			w.spanParent = sp.ID()
+		}
+	}
 	var won atomic.Bool
 	type answer struct {
 		worker int
@@ -204,10 +217,18 @@ func (p *Portfolio) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, c
 	// the external token canceled every worker first.
 	a, ok := <-ch
 	if !ok {
+		if sp.Active() {
+			sp.End(obs.Int("workers", int64(len(p.ws))), obs.Int("canceled", 1))
+		}
 		return false, true
 	}
 	p.winner = a.worker
 	p.wins[a.worker]++
+	if sp.Active() {
+		sp.End(obs.Int("workers", int64(len(p.ws))),
+			obs.Int("winner", int64(a.worker)),
+			obs.Int("sat", boolInt(a.sat)))
+	}
 	return a.sat, false
 }
 

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"psketch/internal/drat"
+	"psketch/internal/obs"
 )
 
 // Adder is the clause-construction half of the solver interface, the
@@ -204,6 +205,12 @@ type Solver struct {
 	proof         *drat.Recorder
 	proofPremises bool
 	dimacsBuf     []int
+
+	// Tracing (nil tr when disabled; see trace.go). spanName lets a
+	// portfolio rename its workers' spans to "sat.worker".
+	tr         *obs.Tracer
+	spanName   string
+	spanParent obs.SpanID
 
 	// Stats counts solver work for the Figure 9 columns.
 	Stats struct {
@@ -659,11 +666,9 @@ func (s *Solver) SolveCancel(cancel *atomic.Bool, assumptions ...Lit) (sat, canc
 	return s.SolveCancel2(cancel, nil, assumptions...)
 }
 
-// SolveCancel2 is SolveCancel with two independent cancellation tokens
-// (either one stops the search). The portfolio uses this to combine its
-// internal race-winner token with an external caller token without an
-// intermediary goroutine.
-func (s *Solver) SolveCancel2(cancel, cancel2 *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
+// solveCancel2 is the uninstrumented solve loop behind SolveCancel2
+// (trace.go), which wraps it in a span when a tracer is attached.
+func (s *Solver) solveCancel2(cancel, cancel2 *atomic.Bool, assumptions ...Lit) (sat, canceled bool) {
 	if !s.ok {
 		return false, false
 	}

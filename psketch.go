@@ -31,6 +31,7 @@ import (
 	"psketch/internal/drat"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
+	"psketch/internal/obs"
 	"psketch/internal/parser"
 	"psketch/internal/printer"
 	"psketch/internal/state"
@@ -91,6 +92,23 @@ type Options struct {
 	Cancel *atomic.Bool
 	// Verbose receives progress lines when non-nil.
 	Verbose func(format string, args ...any)
+	// Trace, when set, receives hierarchical spans from every layer of
+	// the run (CEGIS iterations, SAT solves, model-checker searches,
+	// projection encodings). Build one with obs.NewTracer over a journal
+	// sink, a flight-recorder ring, or both; nil disables tracing at
+	// zero cost. See internal/obs and cmd/psktrace.
+	Trace *obs.Tracer
+	// TraceParent is the span new root spans parent to (0 = top level).
+	TraceParent obs.SpanID
+	// Metrics, when set, is the registry the run's counters live in —
+	// expose it live via obs.ServeDebug, or snapshot it into a journal
+	// trailer. Stats is computed from the same counters either way.
+	Metrics *obs.Metrics
+	// HeapSampleEvery samples the heap high-water mark every N CEGIS
+	// iterations. runtime.ReadMemStats stops the world, so the default
+	// 0 samples only once per Synthesize; pskbench sets 1 to keep the
+	// historical per-iteration MemMiB measurement.
+	HeapSampleEvery int
 }
 
 func (o Options) desugarOpts() desugar.Options {
@@ -119,6 +137,10 @@ func (s *Sketch) coreOpts() core.Options {
 		Proof:              s.opts.Proof,
 		Cancel:             s.opts.Cancel,
 		Verbose:            s.opts.Verbose,
+		Trace:              s.opts.Trace,
+		TraceParent:        s.opts.TraceParent,
+		Metrics:            s.opts.Metrics,
+		HeapSampleEvery:    s.opts.HeapSampleEvery,
 	}
 }
 
@@ -222,6 +244,7 @@ func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err
 	res, err := mc.Check(layout, cand, mc.Options{
 		MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism, NoPOR: s.opts.NoPOR,
 		Cancel: s.opts.Cancel,
+		Tracer: s.opts.Trace, ParentSpan: s.opts.TraceParent,
 	})
 	if err != nil {
 		return false, "", err
