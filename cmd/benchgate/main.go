@@ -8,9 +8,12 @@
 // Verdict changes (a test resolving where the baseline said NO, or
 // vice versa) and rows that error fail outright. Wall-clock fails
 // only past -tolerance x the baseline and above the -min-ms noise
-// floor, so shared CI runners don't flake the gate. Configuration
-// skew between the two reports (parallelism, host, proof replay) is
-// printed as warnings — and with -strict-config also fails the gate.
+// floor, so shared CI runners don't flake the gate. Peak visited-set
+// memory (the mc_visited_bytes column) is gated the same way at
+// -mem-tolerance x above the -min-mib floor, when both reports carry
+// the column. Configuration skew between the two reports
+// (parallelism, host, proof replay, reduction knobs) is printed as
+// warnings — and with -strict-config also fails the gate.
 //
 // With -journal the two reports are run journals (pskbench -journal)
 // instead: per-benchmark wall clock comes from the bench.run spans and
@@ -35,6 +38,8 @@ func main() {
 		candidate = flag.String("candidate", "", "candidate report to gate (required)")
 		tolerance = flag.Float64("tolerance", 3.0, "max candidate/baseline wall-clock ratio")
 		minMS     = flag.Float64("min-ms", 250, "noise floor: rows faster than this are not timed")
+		memTol    = flag.Float64("mem-tolerance", 3.0, "max candidate/baseline peak visited-set memory ratio (mc_visited_bytes)")
+		minMiB    = flag.Float64("min-mib", 8, "memory floor: rows whose visited set is smaller are not memory-gated")
 		strict    = flag.Bool("strict-config", false, "treat configuration-skew warnings as failures")
 		journal   = flag.Bool("journal", false, "baseline and candidate are run journals (pskbench -journal); gate per-phase times too")
 	)
@@ -58,7 +63,10 @@ func main() {
 	if *journal {
 		gate = bench.GateJournals
 	}
-	g, err := gate(base, cand, bench.GateOptions{Tolerance: *tolerance, MinMS: *minMS})
+	g, err := gate(base, cand, bench.GateOptions{
+		Tolerance: *tolerance, MinMS: *minMS,
+		MemTolerance: *memTol, MinBytes: uint64(*minMiB * (1 << 20)),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)

@@ -1,0 +1,112 @@
+// Command docslint keeps README.md honest about the CLI surface: it
+// parses every cmd/*/main.go for flag definitions and fails when a
+// flag (or a whole command) is missing from README.md.
+//
+//	docslint            # lint README.md against cmd/*/main.go
+//	docslint -root dir  # lint another checkout
+//
+// It is wired into CI's lint job, so adding a flag without documenting
+// it breaks the build. The check is textual on purpose — a flag named
+// "journal" is satisfied by any occurrence of "-journal" in the README
+// — because the README documents flags in prose tables, not in
+// machine-readable form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (containing README.md and cmd/)")
+	flag.Parse()
+
+	readme, err := os.ReadFile(filepath.Join(*root, "README.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docslint:", err)
+		os.Exit(2)
+	}
+	mains, err := filepath.Glob(filepath.Join(*root, "cmd", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		fmt.Fprintln(os.Stderr, "docslint: no cmd/*/main.go found")
+		os.Exit(2)
+	}
+	sort.Strings(mains)
+
+	var missing []string
+	for _, path := range mains {
+		cmd := filepath.Base(filepath.Dir(path))
+		if !strings.Contains(string(readme), cmd) {
+			missing = append(missing, fmt.Sprintf("command %q is not mentioned in README.md", cmd))
+			continue
+		}
+		flags, err := flagNames(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docslint:", err)
+			os.Exit(2)
+		}
+		for _, name := range flags {
+			if !strings.Contains(string(readme), "-"+name) {
+				missing = append(missing, fmt.Sprintf("%s: flag -%s is not documented in README.md", cmd, name))
+			}
+		}
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Println("FAIL ", m)
+		}
+		fmt.Printf("docslint: %d undocumented flag(s)/command(s)\n", len(missing))
+		os.Exit(1)
+	}
+	fmt.Printf("docslint: %d command(s) documented\n", len(mains))
+}
+
+// flagNames extracts the names passed to flag.String/Bool/Int/... calls
+// in one file.
+func flagNames(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration",
+			"StringVar", "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var", "Float64Var", "DurationVar":
+		default:
+			return true
+		}
+		arg := call.Args[0]
+		if sel.Sel.Name[len(sel.Sel.Name)-3:] == "Var" && len(call.Args) > 1 {
+			arg = call.Args[1]
+		}
+		if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				names = append(names, name)
+			}
+		}
+		return true
+	})
+	return names, nil
+}

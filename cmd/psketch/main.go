@@ -34,6 +34,8 @@ func main() {
 		all       = flag.Int("all", 0, "enumerate up to N distinct solutions (0 = first only)")
 		traces    = flag.Int("traces", 1, "counterexample traces per CEGIS iteration")
 		par       = flag.Int("j", runtime.GOMAXPROCS(0), "solver/verifier parallelism (1 = deterministic)")
+		noSym     = flag.Bool("nosym", false, "disable the verifier's thread-symmetry reduction")
+		compress  = flag.String("compress", "", "verifier visited-set compression: collapse or bitstate (forces sequential search)")
 		pipeline  = flag.Bool("pipeline", true, "overlap speculative solves with verification (needs -j > 1)")
 		share     = flag.Bool("share-clauses", true, "share learned clauses between SAT portfolio workers (needs -j > 1)")
 		proof     = flag.Bool("proofcheck", false, "log DRAT proofs and replay every UNSAT verdict through the backward checker")
@@ -103,6 +105,8 @@ func main() {
 		MCMaxStates:        *maxStates,
 		TracesPerIteration: *traces,
 		Parallelism:        *par,
+		NoSymmetry:         *noSym,
+		MCCompress:         *compress,
 		NoPipeline:         !*pipeline,
 		NoShareClauses:     !*share,
 		Proof:              *proof,

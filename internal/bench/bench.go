@@ -32,11 +32,17 @@ type Row struct {
 	MemMiB      float64
 	MCStates    int
 	MCTrans     int
-	SATVars     int
-	SATClauses  int
-	SATConfl    int64
-	LogC        float64
-	Err         error
+	// State-space-reduction columns: symmetry classes on the most
+	// symmetric candidate, orbit-representative visited-set hits, and
+	// the peak visited-set footprint of any single check.
+	MCSymClasses   int
+	MCOrbitHits    int64
+	MCVisitedBytes uint64
+	SATVars        int
+	SATClauses     int
+	SATConfl       int64
+	LogC           float64
+	Err            error
 	// Per-worker columns (empty at parallelism 1): portfolio wins and
 	// conflicts per SAT worker, states expanded per verifier worker.
 	Parallelism    int
@@ -83,6 +89,13 @@ type Options struct {
 	// NoPOR disables the verifier's partial-order reduction (ablation
 	// runs; the reduction is on by default).
 	NoPOR bool
+	// NoSymmetry disables the verifier's thread-symmetry reduction
+	// (ablation; on by default).
+	NoSymmetry bool
+	// MCCompress selects the verifier's visited-set representation
+	// ("", "collapse", or "bitstate"; non-empty forces the verifier
+	// sequential).
+	MCCompress string
 	// NoPipeline disables the speculative solve/verify overlap
 	// (ablation; on by default at Parallelism > 1).
 	NoPipeline bool
@@ -150,6 +163,8 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		TracesPerIteration: opts.TracesPerIteration,
 		Parallelism:        opts.Parallelism,
 		NoPOR:              opts.NoPOR,
+		NoSymmetry:         opts.NoSymmetry,
+		MCCompress:         opts.MCCompress,
 		NoPipeline:         opts.NoPipeline,
 		NoShareClauses:     opts.NoShareClauses,
 		Proof:              opts.Proof,
@@ -208,6 +223,9 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	row.MemMiB = float64(res.Stats.MaxHeap) / (1 << 20)
 	row.MCStates = res.Stats.MCStates
 	row.MCTrans = res.Stats.MCTrans
+	row.MCSymClasses = res.Stats.MCSymClasses
+	row.MCOrbitHits = res.Stats.MCOrbitHits
+	row.MCVisitedBytes = res.Stats.MCVisitedBytes
 	row.SATVars = res.Stats.SATVars
 	row.SATClauses = res.Stats.SATClauses
 	row.SATConfl = res.Stats.SATConfl

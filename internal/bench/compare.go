@@ -20,6 +20,16 @@ type GateOptions struct {
 	// took this long — sub-floor rows are dominated by scheduler and
 	// allocator noise at any tolerance.
 	MinMS float64
+	// MemTolerance is the maximum allowed candidate/baseline ratio of
+	// the peak visited-set footprint (mc_visited_bytes, 0 = default
+	// 3.0). The footprint is an analytic estimate, not a heap sample,
+	// so it is far less noisy than wall clock — but parallel searches
+	// still race over which states each claims.
+	MemTolerance float64
+	// MinBytes is the memory-gate floor (0 = default 8 MiB): rows whose
+	// candidate footprint is below it are not memory-gated, since tiny
+	// tables are dominated by fixed map overhead.
+	MinBytes uint64
 }
 
 func (o GateOptions) tolerance() float64 {
@@ -34,6 +44,20 @@ func (o GateOptions) minMS() float64 {
 		return 250
 	}
 	return o.MinMS
+}
+
+func (o GateOptions) memTolerance() float64 {
+	if o.MemTolerance <= 0 {
+		return 3.0
+	}
+	return o.MemTolerance
+}
+
+func (o GateOptions) minBytes() uint64 {
+	if o.MinBytes == 0 {
+		return 8 << 20
+	}
+	return o.MinBytes
 }
 
 // GateResult is the outcome of comparing a candidate report against a
@@ -115,6 +139,15 @@ func Gate(baseline, candidate []byte, o GateOptions) (*GateResult, error) {
 		if cr.TotalMS > floor && cr.TotalMS > tol*br.TotalMS {
 			g.failf("%s: %.0fms vs baseline %.0fms (%.1fx > %.1fx tolerance)",
 				key, cr.TotalMS, br.TotalMS, cr.TotalMS/br.TotalMS, tol)
+		}
+		// Peak visited-set memory, gated only when both reports carry
+		// the column (baselines written before it read back as 0).
+		mtol, mfloor := o.memTolerance(), o.minBytes()
+		if br.MCVisitedBytes > 0 && cr.MCVisitedBytes > mfloor &&
+			float64(cr.MCVisitedBytes) > mtol*float64(br.MCVisitedBytes) {
+			g.failf("%s: peak visited set %.1f MiB vs baseline %.1f MiB (%.1fx > %.1fx tolerance)",
+				key, float64(cr.MCVisitedBytes)/(1<<20), float64(br.MCVisitedBytes)/(1<<20),
+				float64(cr.MCVisitedBytes)/float64(br.MCVisitedBytes), mtol)
 		}
 	}
 	if cand.Options.Filter == "" {
@@ -228,6 +261,12 @@ func compareOptions(g *GateResult, b, c jsonOptions) {
 	}
 	if b.POR != c.POR {
 		g.warnf("config: por %v vs baseline %v", c.POR, b.POR)
+	}
+	if b.Symmetry != nil && c.Symmetry != nil && *b.Symmetry != *c.Symmetry {
+		g.warnf("config: symmetry %v vs baseline %v", *c.Symmetry, *b.Symmetry)
+	}
+	if b.MCCompress != c.MCCompress {
+		g.warnf("config: mc_compress %q vs baseline %q — memory not comparable", c.MCCompress, b.MCCompress)
 	}
 	if b.TracesPerIteration != c.TracesPerIteration {
 		g.warnf("config: traces_per_iteration %d vs baseline %d", c.TracesPerIteration, b.TracesPerIteration)

@@ -28,11 +28,14 @@ type jsonRow struct {
 	VModelMS   float64 `json:"vmodel_ms"`
 	MemMiB     float64 `json:"mem_mib"`
 
-	MCStates   int   `json:"mc_states"`
-	MCTrans    int   `json:"mc_trans"`
-	SATVars    int   `json:"sat_vars"`
-	SATClauses int   `json:"sat_clauses"`
-	SATConfl   int64 `json:"sat_conflicts"`
+	MCStates       int    `json:"mc_states"`
+	MCTrans        int    `json:"mc_trans"`
+	MCSymClasses   int    `json:"mc_sym_classes"`
+	MCOrbitHits    int64  `json:"mc_orbit_hits"`
+	MCVisitedBytes uint64 `json:"mc_visited_bytes"`
+	SATVars        int    `json:"sat_vars"`
+	SATClauses     int    `json:"sat_clauses"`
+	SATConfl       int64  `json:"sat_conflicts"`
 
 	Parallelism    int               `json:"parallelism"`
 	SATWorkers     []sat.WorkerStats `json:"sat_workers,omitempty"`
@@ -65,6 +68,8 @@ type jsonOptions struct {
 	Pipeline           bool   `json:"pipeline"`
 	ShareClauses       bool   `json:"share_clauses"`
 	POR                bool   `json:"por"`
+	Symmetry           *bool  `json:"symmetry,omitempty"` // pointer: absent in pre-PR6 reports means unknown, not off
+	MCCompress         string `json:"mc_compress,omitempty"`
 	TracesPerIteration int    `json:"traces_per_iteration"`
 	TimeoutMS          int64  `json:"timeout_ms"`
 	Filter             string `json:"filter,omitempty"`
@@ -94,6 +99,9 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 	rep.Options.Pipeline = !opts.NoPipeline
 	rep.Options.ShareClauses = !opts.NoShareClauses
 	rep.Options.POR = !opts.NoPOR
+	symOn := !opts.NoSymmetry
+	rep.Options.Symmetry = &symOn
+	rep.Options.MCCompress = opts.MCCompress
 	rep.Options.TracesPerIteration = opts.TracesPerIteration
 	rep.Options.TimeoutMS = opts.Timeout.Milliseconds()
 	rep.Options.Filter = opts.Filter
@@ -112,6 +120,7 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 			TotalMS: ms(r.Total), SSolveMS: ms(r.SSolve), SModelMS: ms(r.SModel),
 			VSolveMS: ms(r.VSolve), VModelMS: ms(r.VModel), MemMiB: r.MemMiB,
 			MCStates: r.MCStates, MCTrans: r.MCTrans,
+			MCSymClasses: r.MCSymClasses, MCOrbitHits: r.MCOrbitHits, MCVisitedBytes: r.MCVisitedBytes,
 			SATVars: r.SATVars, SATClauses: r.SATClauses, SATConfl: r.SATConfl,
 			Parallelism: r.Parallelism, SATWorkers: r.SATWorkers, MCWorkerStates: r.MCWorkerStates,
 			SpecSolves: r.SpecSolves, SpecHits: r.SpecHits, SpecSolveMS: ms(r.SpecSolve),

@@ -63,6 +63,13 @@ type Options struct {
 	// reduction (soundness cross-checks and measurement; the reduction
 	// is on by default).
 	NoPOR bool
+	// NoSymmetry disables the model checker's thread-symmetry (orbit)
+	// reduction (on by default; see mc.Options.NoSymmetry).
+	NoSymmetry bool
+	// MCCompress selects the model checker's visited-set representation:
+	// "" (exact fingerprint table), "collapse", or "bitstate". Non-empty
+	// modes force the verifier sequential (see mc.Options.Compress).
+	MCCompress string
 	// NoPipeline disables the speculative synthesize/verify overlap of
 	// the concurrent engine (on by default at Parallelism > 1; the
 	// pipeline never runs at Parallelism 1, which stays bit-for-bit the
@@ -148,8 +155,18 @@ type Stats struct {
 	SATClauses int
 	SATConfl   int64
 	MCStates   int
-	MCTrans    int    // transitions the model checker executed
-	MaxHeap    uint64 // peak observed heap, bytes
+	MCTrans    int // transitions the model checker executed
+	// MCSymClasses is the largest number of thread-symmetry classes any
+	// verified candidate exhibited; MCOrbitHits totals visited-set hits
+	// that needed a non-identity orbit representative; MCVisitedBytes is
+	// the peak estimated visited-set footprint of any single check.
+	// Unlike the fields above, these three are per-run (tracked on the
+	// synthesizer, not read back from the registry, whose counters of
+	// the same names accumulate across runs sharing one Metrics).
+	MCSymClasses   int
+	MCOrbitHits    int64
+	MCVisitedBytes uint64
+	MaxHeap        uint64 // peak observed heap, bytes
 	// Parallelism is the worker count both phases ran at; the
 	// per-worker columns below are empty at Parallelism 1.
 	Parallelism int
@@ -268,6 +285,14 @@ type Synthesizer struct {
 	statsMu        sync.Mutex
 	mcWorkerStates []int
 	satWorkers     []sat.WorkerStats
+	// Per-run reduction stats. The registry counters with the same
+	// names are process-wide (a shared Options.Metrics accumulates
+	// across runs, which is what a live /metrics endpoint wants); these
+	// fields are this synthesizer's own maxima/totals so Stats and
+	// bench rows stay per-run even in a multi-benchmark sweep.
+	runSymClasses   int
+	runOrbitHits    int64
+	runVisitedBytes uint64
 }
 
 // counters caches the registry handles the loop bumps. Durations are
@@ -279,6 +304,8 @@ type counters struct {
 	ssolveNS, smodelNS, vsolveNS, vmodelNS *obs.Counter
 	specSolves, specHits, specNS           *obs.Counter
 	mcStates, mcTrans                      *obs.Counter
+	mcSymClasses, mcOrbitHits              *obs.Counter
+	mcVisitedBytes                         *obs.Counter
 	heapMax                                *obs.Counter
 	satVars, satClauses, satConfl          *obs.Counter
 	satExported, satImported               *obs.Counter
@@ -300,19 +327,23 @@ func newCounters(m *obs.Metrics) counters {
 		specHits:     m.Counter("cegis.spec_hits"),
 		mcStates:     m.Counter("mc.states"),
 		mcTrans:      m.Counter("mc.trans"),
-		heapMax:      m.Counter("heap.max_bytes"),
-		satVars:      m.Counter("sat.vars"),
-		satClauses:   m.Counter("sat.clauses"),
-		satConfl:     m.Counter("sat.conflicts"),
-		satExported:  m.Counter("sat.exported"),
-		satImported:  m.Counter("sat.imported"),
-		projHits:     m.Counter("proj.hits"),
-		projMisses:   m.Counter("proj.misses"),
-		projSaved:    m.Counter("proj.saved_entries"),
-		proofLemmas:  m.Counter("proof.lemmas"),
-		proofChecked: m.Counter("proof.checked"),
-		proofCore:    m.Counter("proof.core"),
-		proofCheckNS: m.Counter("proof.check_ns"),
+		mcSymClasses: m.Counter("mc.sym_classes"),
+		mcOrbitHits:  m.Counter("mc.orbit_hits"),
+		// high-water mark across iterations, not a running sum
+		mcVisitedBytes: m.Counter("mc.visited_bytes"),
+		heapMax:        m.Counter("heap.max_bytes"),
+		satVars:        m.Counter("sat.vars"),
+		satClauses:     m.Counter("sat.clauses"),
+		satConfl:       m.Counter("sat.conflicts"),
+		satExported:    m.Counter("sat.exported"),
+		satImported:    m.Counter("sat.imported"),
+		projHits:       m.Counter("proj.hits"),
+		projMisses:     m.Counter("proj.misses"),
+		projSaved:      m.Counter("proj.saved_entries"),
+		proofLemmas:    m.Counter("proof.lemmas"),
+		proofChecked:   m.Counter("proof.checked"),
+		proofCore:      m.Counter("proof.core"),
+		proofCheckNS:   m.Counter("proof.check_ns"),
 	}
 }
 
@@ -346,6 +377,9 @@ func (s *Synthesizer) statsView() Stats {
 		ProofCheck:   time.Duration(s.ct.proofCheckNS.Get()),
 	}
 	s.statsMu.Lock()
+	st.MCSymClasses = s.runSymClasses
+	st.MCOrbitHits = s.runOrbitHits
+	st.MCVisitedBytes = s.runVisitedBytes
 	st.MCWorkerStates = append([]int(nil), s.mcWorkerStates...)
 	st.SATWorkers = append([]sat.WorkerStats(nil), s.satWorkers...)
 	s.statsMu.Unlock()
@@ -755,6 +789,8 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			MaxTraces:   s.opts.TracesPerIteration,
 			Parallelism: s.opts.Parallelism,
 			NoPOR:       s.opts.NoPOR,
+			NoSymmetry:  s.opts.NoSymmetry,
+			Compress:    s.opts.MCCompress,
 			Cancel:      s.opts.Cancel,
 			Tracer:      s.tr,
 			ParentSpan:  vsp.ID(),
@@ -774,7 +810,17 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 		}
 		s.ct.mcStates.Add(int64(mres.States))
 		s.ct.mcTrans.Add(int64(mres.Trans))
+		s.ct.mcSymClasses.Max(int64(mres.SymClasses))
+		s.ct.mcOrbitHits.Add(mres.OrbitHits)
+		s.ct.mcVisitedBytes.Max(int64(mres.VisitedBytes))
 		s.statsMu.Lock()
+		if mres.SymClasses > s.runSymClasses {
+			s.runSymClasses = mres.SymClasses
+		}
+		s.runOrbitHits += mres.OrbitHits
+		if mres.VisitedBytes > s.runVisitedBytes {
+			s.runVisitedBytes = mres.VisitedBytes
+		}
 		for len(s.mcWorkerStates) < len(mres.WorkerStates) {
 			s.mcWorkerStates = append(s.mcWorkerStates, 0)
 		}

@@ -8,6 +8,14 @@
 // relies on: the model checker runs candidates over this step list, and
 // the projection of a counterexample trace is a reordering of the same
 // step instances.
+//
+// Besides lowering, the package hosts the static analyses the model
+// checker's reductions are built on: per-step shared read/write
+// footprints (Footprints) feeding the partial-order reduction, and
+// candidate-conditional thread-symmetry detection (Symmetry), which
+// proves groups of forked threads permutation-equivalent under a
+// concrete candidate and hands internal/mc the generators of the
+// induced state-space automorphisms.
 package ir
 
 import (

@@ -4,7 +4,7 @@
 // assertions, memory safety, deadlock freedom, and bounded termination,
 // and produces a counterexample trace on failure (§6).
 //
-// Three sound reductions keep the state space tractable:
+// Four sound reductions keep the state space tractable:
 //
 //   - steps whose guards are false are skipped without a scheduling
 //     point (they are not executed at all);
@@ -16,11 +16,28 @@
 //     shared cells each step reads and writes (internal/ir), and the
 //     search expands only a persistent subset of the enabled threads at
 //     each state, carrying sleep sets down the DFS to skip commuting
-//     interleavings it has already covered (disable with NoPOR).
+//     interleavings it has already covered (disable with NoPOR);
+//   - a thread-symmetry (orbit) reduction: ir.Symmetry detects groups
+//     of threads the candidate treats identically (same code, rotatable
+//     locals, interchangeable heap roles), and every visited-set lookup
+//     uses the minimum fingerprint over the state's orbit under the
+//     induced automorphism group, so permutation-equivalent states are
+//     expanded once (disable with NoSymmetry; candidates whose policy
+//     breaks the symmetry get no classes and pay nothing).
 //
-// Visited states are hashed so each global state is expanded once; the
-// visited table also records, per state, which transitions were already
-// explored, so revisits through other paths only do new work.
+// "Visited" therefore means: this state's canonical orbit
+// representative was already expanded under some persistent set that is
+// valid for the whole orbit — stored per-state masks live in the
+// canonical frame and are translated through the automorphism at every
+// lookup, which is what makes the symmetry reduction compose soundly
+// with the POR's persistent/sleep sets. The visited table also records,
+// per canonical state, which transitions were already explored, so
+// revisits through other paths only do new work. States are fingerprinted
+// with an incrementally maintained Zobrist hash (updated from each
+// step's touched footprint, not recomputed), and Options.Compress can
+// swap the fingerprint table for a SPIN-style collapse-compressed exact
+// table or a lossy bitstate filter; see ARCHITECTURE.md's state-space
+// reduction stack section for how the pieces interact.
 //
 // # Concurrency contract
 //
@@ -112,6 +129,20 @@ type Options struct {
 	// (persistent sets + sleep sets), used to cross-check its soundness
 	// in tests and to measure its effect.
 	NoPOR bool
+	// NoSymmetry disables the thread-symmetry reduction (orbit
+	// canonicalization of visited-set lookups), used to cross-check its
+	// soundness in tests and to measure its effect. Symmetry is also
+	// off whenever a Hook is set.
+	NoSymmetry bool
+	// Compress selects the visited-set representation: "" (default)
+	// is the exact open-addressed fingerprint table, "collapse" interns
+	// state components SPIN-style and keys on id tuples (exact, full
+	// contents compared), and "bitstate" is SPIN's supertrace — two
+	// bits per state, which can silently prune states on hash aliasing
+	// and so trades the completeness guarantee for memory (reported
+	// counterexamples remain real schedules). Compression forces the
+	// sequential search.
+	Compress string
 	// MaxTraces asks the search to keep going after the first
 	// counterexample and return up to this many distinct failing
 	// traces (default 1, the paper's behaviour). More traces per
@@ -150,6 +181,14 @@ type Result struct {
 	// sequential DFS); WorkerStates counts the states each expanded.
 	Workers      int
 	WorkerStates []int
+	// SymClasses is the number of thread-symmetry classes the search
+	// canonicalized under (0 = candidate asymmetric or reduction off);
+	// OrbitHits counts visited-set hits reached through a non-identity
+	// orbit representative.
+	SymClasses int
+	OrbitHits  int64
+	// VisitedBytes estimates the peak memory held by the visited set.
+	VisitedBytes uint64
 }
 
 // Check explores all interleavings of the candidate.
@@ -164,10 +203,21 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 	if !p.Concurrent() {
 		return nil, fmt.Errorf("mc: program has no fork; use the sequential checker")
 	}
-	m := &checker{l: l, p: p, cand: cand, opts: opts, tab: newFpTable()}
+	m := &checker{l: l, p: p, cand: cand, opts: opts}
 	m.por = !opts.NoPOR && opts.Hook == nil
-	if m.por {
-		m.pt = buildPOR(l, ir.Footprints(p, cand))
+	// The footprint tables drive the POR and the incremental hashing's
+	// per-step write lists, so they are built even with POR off.
+	m.pt = buildPOR(l, ir.Footprints(p, cand))
+	m.hz = newHasher(l, m.pt)
+	switch opts.Compress {
+	case "":
+		m.tab = newFpTable()
+	case "collapse":
+		m.col = newCollapse(l)
+	case "bitstate":
+		m.bst = newBitstate(opts.MaxStates)
+	default:
+		return nil, fmt.Errorf("mc: unknown Compress mode %q (want \"\", \"collapse\" or \"bitstate\")", opts.Compress)
 	}
 	m.initEval()
 	m.span = opts.Tracer.Start("mc.check", opts.ParentSpan)
@@ -183,8 +233,19 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 		}
 	}
 
-	if opts.Parallelism > 1 && opts.Hook == nil {
+	// Thread-symmetry reduction: detect permutation-equivalent thread
+	// rings for this candidate and validate them against the layout and
+	// the post-prologue heap. A Hook observes the raw schedule space,
+	// so canonicalization is off under one.
+	if !opts.NoSymmetry && opts.Hook == nil {
+		if classes := ir.Symmetry(p, cand); len(classes) > 0 {
+			m.sym = buildSym(l, classes, m.pt, st)
+		}
+	}
+
+	if opts.Parallelism > 1 && opts.Hook == nil && opts.Compress == "" {
 		res, err := m.checkParallel(st)
+		m.finishResult(res)
 		m.endSpan(res, err)
 		return res, err
 	}
@@ -198,8 +259,32 @@ func Check(l *state.Layout, cand desugar.Candidate, opts Options) (*Result, erro
 	if !res.OK {
 		res.Trace = m.traces[0]
 	}
+	m.finishResult(res)
 	m.endSpan(res, nil)
 	return res, nil
+}
+
+// finishResult fills the reduction/memory fields shared by both search
+// modes.
+func (m *checker) finishResult(res *Result) {
+	if res == nil {
+		return
+	}
+	if m.sym != nil {
+		res.SymClasses = m.sym.classes
+	}
+	res.OrbitHits = m.orbitHits
+	switch {
+	case m.col != nil:
+		res.VisitedBytes = m.col.bytes()
+	case m.bst != nil:
+		res.VisitedBytes = m.bst.bytes()
+	case m.tab != nil:
+		res.VisitedBytes = m.tab.bytes()
+	}
+	if m.pvisited != nil {
+		res.VisitedBytes = m.pvisited.bytes()
+	}
 }
 
 // endSpan finishes the mc.check span with the search totals. The
@@ -223,7 +308,10 @@ func (m *checker) endSpan(res *Result, err error) {
 		obs.Int("traces", int64(len(res.Traces))),
 		obs.Int("workers", int64(res.Workers)),
 		obs.Int("por_pruned", m.porPruned),
-		obs.Int("sleep_skips", m.sleepSkips))
+		obs.Int("sleep_skips", m.sleepSkips),
+		obs.Int("sym_classes", int64(res.SymClasses)),
+		obs.Int("orbit_hits", res.OrbitHits),
+		obs.Int("visited_bytes", int64(res.VisitedBytes)))
 }
 
 type checker struct {
@@ -234,11 +322,26 @@ type checker struct {
 
 	por bool
 	pt  *porTables // footprints for the fixed candidate (read-only)
+	hz  *hasher    // incremental Zobrist hashing (read-only)
+	sym *symAuto   // thread-symmetry group, nil if none (read-only)
 
-	tab    *fpTable
+	// Exactly one visited backend is set (Options.Compress); the
+	// parallel search uses its striped set instead (pvisited, kept for
+	// the memory estimate).
+	tab      *fpTable
+	col      *collapseTab
+	bst      *bitstate
+	pvisited *stripedSet
+
 	states int
 	trans  int
 	traces []*Trace
+
+	// orbitHits counts visited-set hits reached through a non-identity
+	// orbit representative; symScratch materializes canonical states
+	// for the collapse backend.
+	orbitHits  int64
+	symScratch *state.State
 
 	// POR effectiveness counters (plain int adds on the hot path, no
 	// allocation): transitions dropped by the persistent-set choice, and
@@ -373,6 +476,10 @@ func (m *checker) normalize(st *state.State, path *[]Event) (int, *interp.Failur
 	return -1, nil
 }
 
+// debugHash, set by tests, cross-checks every incrementally maintained
+// fingerprint against a full rehash.
+var debugHash = false
+
 // dfs explores the interleavings from the root state st; counterexamples
 // accumulate in m.traces.
 func (m *checker) dfs(st *state.State, path *[]Event) error {
@@ -380,18 +487,36 @@ func (m *checker) dfs(st *state.State, path *[]Event) error {
 		m.record(m.failTrace(*path, f, t))
 		return nil
 	}
-	return m.expand(st, 0, path)
+	h1, h2 := m.hz.full(st)
+	return m.expand(st, 0, path, h1, h2)
 }
 
 // dfsChild continues the search after executing a step of thread t:
 // only t needs renormalizing (no other thread's locals changed), then
-// the state is expanded under the child's sleep set.
-func (m *checker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event) error {
+// the state is expanded under the child's sleep set. h1, h2 fingerprint
+// st as passed in; normalization touches only t's block and PC, so the
+// fingerprint is patched from the block delta.
+func (m *checker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event, h1, h2 uint64) error {
+	b1, b2 := m.hz.block(st, t)
 	if f := m.advance(st, t, path); f != nil {
 		m.record(m.failTrace(*path, f, t))
 		return nil
 	}
-	return m.expand(st, sleep, path)
+	a1, a2 := m.hz.block(st, t)
+	return m.expand(st, sleep, path, h1^b1^a1, h2^b2^a2)
+}
+
+// canonState materializes the canonical orbit representative (st
+// itself under the identity).
+func (m *checker) canonState(st *state.State, act *symElem) *state.State {
+	if act == nil {
+		return st
+	}
+	if m.symScratch == nil {
+		m.symScratch = st.Clone()
+	}
+	m.sym.applyAct(m.symScratch, st, act)
+	return m.symScratch
 }
 
 // done reports whether the trace budget is met.
@@ -404,11 +529,44 @@ func (m *checker) done() bool {
 // subtrees; the visited table's done-mask extends that across revisits
 // through other paths, so each (state, transition) pair is explored at
 // most once.
-func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
+func (m *checker) expand(st *state.State, sleep uint64, path *[]Event, h1, h2 uint64) error {
 	if m.opts.Cancel != nil && m.opts.Cancel.Load() {
 		return ErrCanceled
 	}
-	idx, fresh := m.tab.slot(st.Key())
+	if debugHash {
+		if f1, f2 := m.hz.full(st); f1 != h1 || f2 != h2 {
+			panic("mc: incremental fingerprint diverged from full rehash")
+		}
+	}
+	// Orbit canonicalization: look up under the minimal fingerprint
+	// over the state's symmetry orbit; act is the element that reaches
+	// it (nil for the identity).
+	ch1, ch2 := h1, h2
+	var act *symElem
+	if m.sym != nil {
+		ch1, ch2, act = m.sym.canonKey(st, h1, h2)
+	}
+
+	// Visited lookup through the selected backend. Bitstate stores no
+	// per-state masks: a seen state is never re-expanded, a fresh one
+	// explores its full persistent set minus the local sleep set.
+	var idx int
+	var ce *colEntry
+	var fresh bool
+	switch {
+	case m.bst != nil:
+		fresh = m.bst.visit(ch1, ch2)
+	case m.col != nil:
+		ce, fresh = m.col.slot(m.canonState(st, act))
+	default:
+		idx, fresh = m.tab.slot(key16(ch1, ch2))
+	}
+	if !fresh && act != nil {
+		m.orbitHits++
+	}
+
+	var pmaskLocal uint64
+	haveWork := false
 	if fresh {
 		m.states++
 		if m.states > m.opts.MaxStates {
@@ -432,23 +590,63 @@ func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
 			dtr.Deadlocked = blocked
 			m.record(dtr)
 		default:
-			pmask := enabled
+			pmaskLocal = enabled
 			if m.por {
-				pmask = m.pt.persistentSet(st, enabled, unfin)
-				m.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
+				pmaskLocal = m.pt.persistentSet(st, enabled, unfin)
+				m.porPruned += int64(bits.OnesCount64(enabled &^ pmaskLocal))
 			}
-			m.tab.pm[idx] = pmaskKnown | pmask
+			haveWork = true
 		}
 	}
-	pmask := m.tab.pm[idx] &^ pmaskKnown
-	avail := pmask &^ m.tab.done[idx]
-	m.sleepSkips += int64(bits.OnesCount64(avail & sleep))
-	todo := avail &^ sleep
-	if todo == 0 {
+	if m.bst != nil {
+		if !fresh || !haveWork {
+			return nil
+		}
+		m.sleepSkips += int64(bits.OnesCount64(pmaskLocal & sleep))
+		todo := pmaskLocal &^ sleep
+		if todo == 0 {
+			return nil
+		}
+		return m.exploreTodo(st, todo, sleep, path, h1, h2)
+	}
+
+	// Stored masks live in the canonical frame: translate local masks
+	// in with act's thread map, translate the claimed work back out.
+	if fresh && haveWork {
+		pmw := pmaskKnown | symFwd(pmaskLocal, act)
+		if ce != nil {
+			ce.pm = pmw
+		} else {
+			m.tab.pm[idx] = pmw
+		}
+	}
+	var pmw, doneC uint64
+	if ce != nil {
+		pmw, doneC = ce.pm, ce.done
+	} else {
+		pmw, doneC = m.tab.pm[idx], m.tab.done[idx]
+	}
+	pmaskC := pmw &^ pmaskKnown
+	sleepC := symFwd(sleep, act)
+	availC := pmaskC &^ doneC
+	m.sleepSkips += int64(bits.OnesCount64(availC & sleepC))
+	todoC := availC &^ sleepC
+	if todoC == 0 {
 		return nil
 	}
-	// Claim now: the table index is invalidated by insertions below.
-	m.tab.done[idx] |= todo
+	// Claim now: the fingerprint table's index is invalidated by
+	// insertions below (collapse entries are stable pointers).
+	if ce != nil {
+		ce.done |= todoC
+	} else {
+		m.tab.done[idx] |= todoC
+	}
+	return m.exploreTodo(st, symInv(todoC, act), sleep, path, h1, h2)
+}
+
+// exploreTodo executes each claimed transition (todo, in the local
+// thread frame) and recurses; h1, h2 fingerprint st.
+func (m *checker) exploreTodo(st *state.State, todo, sleep uint64, path *[]Event, h1, h2 uint64) error {
 	single := todo&(todo-1) == 0
 	explored := uint64(0)
 	for work := todo; work != 0; {
@@ -476,6 +674,10 @@ func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
 		if m.opts.Hook != nil {
 			m.opts.Hook(Event{Thread: t, Step: pc}, child)
 		}
+		// Fingerprint delta: the step may write its footprint's shared
+		// cells and its own block (locals + PC).
+		preB1, preB2 := m.hz.block(child, t)
+		preS1, preS2 := m.hz.sharedW(child, t, pc)
 		if f := ctx.ExecBody(step); f != nil {
 			m.record(m.failTrace(*path, f, t))
 			*path = (*path)[:len(*path)-1]
@@ -485,8 +687,11 @@ func (m *checker) expand(st *state.State, sleep uint64, path *[]Event) error {
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
+		postS1, postS2 := m.hz.sharedW(child, t, pc)
+		postB1, postB2 := m.hz.block(child, t)
 		mark := len(*path)
-		err := m.dfsChild(child, t, cs, path)
+		err := m.dfsChild(child, t, cs, path,
+			h1^preB1^postB1^preS1^postS1, h2^preB2^postB2^preS2^postS2)
 		if !single {
 			m.release(child)
 		}

@@ -122,27 +122,43 @@ type pworker struct {
 	expanded int64 // states this worker claimed first
 }
 
-func (w *pworker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event) error {
+func (w *pworker) dfsChild(st *state.State, t int, sleep uint64, path *[]Event, h1, h2 uint64) error {
 	if w.sh.cancel.Load() {
 		return nil
 	}
+	b1, b2 := w.hz.block(st, t)
 	if f := w.advance(st, t, path); f != nil {
 		w.sh.record(w.failTrace(*path, f, t))
 		return nil
 	}
-	return w.expand(st, sleep, path)
+	a1, a2 := w.hz.block(st, t)
+	return w.expand(st, sleep, path, h1^b1^a1, h2^b2^a2)
 }
 
-func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
+func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event, h1, h2 uint64) error {
 	if w.opts.Cancel != nil && w.opts.Cancel.Load() {
 		// Route through fail so checkParallel reports ErrCanceled (the
 		// partial traces collected so far are not a verdict).
 		w.sh.fail(ErrCanceled)
 		return nil
 	}
-	k := st.Key()
+	if debugHash {
+		if f1, f2 := w.hz.full(st); f1 != h1 || f2 != h2 {
+			panic("mc: incremental fingerprint diverged from full rehash")
+		}
+	}
+	ch1, ch2 := h1, h2
+	var act *symElem
+	if w.sym != nil {
+		ch1, ch2, act = w.sym.canonKey(st, h1, h2)
+	}
+	k := key16(ch1, ch2)
+	sleepC := symFwd(sleep, act)
 	fresh, done, pmw := w.sh.visited.arrive(k)
-	if !fresh && pmw&pmaskKnown != 0 && (pmw&^pmaskKnown)&^sleep&^done == 0 {
+	if !fresh && act != nil {
+		w.orbitHits++
+	}
+	if !fresh && pmw&pmaskKnown != 0 && (pmw&^pmaskKnown)&^sleepC&^done == 0 {
 		return nil // nothing new to explore here
 	}
 	var pmask uint64
@@ -181,26 +197,30 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 				dtr.Deadlocked = blocked
 				w.sh.record(dtr)
 			default:
-				pmask = enabled
+				local := enabled
 				if w.por {
-					pmask = w.pt.persistentSet(st, enabled, unfin)
-					w.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
+					local = w.pt.persistentSet(st, enabled, unfin)
+					w.porPruned += int64(bits.OnesCount64(enabled &^ local))
 				}
+				pmask = symFwd(local, act)
 			}
 		} else if tr == nil && unfinished > 0 && enabled != 0 {
 			// A racing revisit before the first arriver stored its
-			// mask: recompute (deterministic) and claim what we can.
-			pmask = enabled
+			// mask: recompute and claim what we can (any valid
+			// persistent set is sound; claim keeps the first stored).
+			local := enabled
 			if w.por {
-				pmask = w.pt.persistentSet(st, enabled, unfin)
+				local = w.pt.persistentSet(st, enabled, unfin)
 			}
+			pmask = symFwd(local, act)
 		}
 	}
-	w.sleepSkips += int64(bits.OnesCount64(pmask & sleep))
-	todo := w.sh.visited.claim(k, pmaskKnown|pmask, pmask&^sleep)
-	if todo == 0 {
+	w.sleepSkips += int64(bits.OnesCount64(pmask & sleepC))
+	todoC := w.sh.visited.claim(k, pmaskKnown|pmask, pmask&^sleepC)
+	if todoC == 0 {
 		return nil
 	}
+	todo := symInv(todoC, act)
 	single := todo&(todo-1) == 0
 	explored := uint64(0)
 	for work := todo; work != 0; {
@@ -225,6 +245,8 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 		ctx.Reset(child, seq)
 		w.sh.trans.Add(1)
 		*path = append(*path, Event{Thread: t, Step: pc})
+		preB1, preB2 := w.hz.block(child, t)
+		preS1, preS2 := w.hz.sharedW(child, t, pc)
 		if f := ctx.ExecBody(step); f != nil {
 			w.sh.record(w.failTrace(*path, f, t))
 			*path = (*path)[:len(*path)-1]
@@ -234,8 +256,11 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
+		postS1, postS2 := w.hz.sharedW(child, t, pc)
+		postB1, postB2 := w.hz.block(child, t)
 		mark := len(*path)
-		err := w.dfsChild(child, t, cs, path)
+		err := w.dfsChild(child, t, cs, path,
+			h1^preB1^postB1^preS1^postS1, h2^preB2^postB2^preS2^postS2)
 		if !single {
 			w.release(child)
 		}
@@ -254,6 +279,7 @@ func (w *pworker) expand(st *state.State, sleep uint64, path *[]Event) error {
 // shard queue against the shared visited table.
 func (m *checker) checkParallel(st *state.State) (*Result, error) {
 	sh := &pshared{visited: newStripedSet(), maxStates: m.opts.MaxStates, maxTraces: m.opts.MaxTraces}
+	m.pvisited = sh.visited
 	finish := func(workers int, perWorker []int) *Result {
 		res := &Result{
 			OK:     len(sh.traces) == 0,
@@ -276,7 +302,13 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 		sh.record(m.failTrace(prefix, f, t))
 		return finish(0, nil), nil
 	}
-	rootKey := st.Key()
+	rootH1, rootH2 := m.hz.full(st)
+	rch1, rch2 := rootH1, rootH2
+	var ract *symElem
+	if m.sym != nil {
+		rch1, rch2, ract = m.sym.canonKey(st, rootH1, rootH2)
+	}
+	rootKey := key16(rch1, rch2)
 	sh.visited.arrive(rootKey)
 	sh.states.Add(1)
 	unfinished, enabled, unfin, tr := m.statusMask(st)
@@ -303,15 +335,16 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 		pmask = m.pt.persistentSet(st, enabled, unfin)
 		m.porPruned += int64(bits.OnesCount64(enabled &^ pmask))
 	}
-	sh.visited.claim(rootKey, pmaskKnown|pmask, pmask)
+	sh.visited.claim(rootKey, pmaskKnown|symFwd(pmask, ract), symFwd(pmask, ract))
 
 	// One shard per member of the root persistent set, each seeded with
 	// the sleep set the sequential sibling order would give it.
 	type shard struct {
-		st    *state.State
-		path  []Event
-		t     int
-		sleep uint64
+		st     *state.State
+		path   []Event
+		t      int
+		sleep  uint64
+		h1, h2 uint64
 	}
 	var shards []shard
 	explored := uint64(0)
@@ -336,7 +369,8 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 			continue
 		}
 		child.PCs[t] = int32(pc + 1)
-		shards = append(shards, shard{child, spath, t, cs})
+		sh1, sh2 := m.hz.full(child)
+		shards = append(shards, shard{child, spath, t, cs, sh1, sh2})
 	}
 
 	workers := m.opts.Parallelism
@@ -346,6 +380,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 	perWorker := make([]int, workers)
 	perPruned := make([]int64, workers)
 	perSleep := make([]int64, workers)
+	perOrbit := make([]int64, workers)
 	if workers > 0 && !sh.cancel.Load() {
 		queue := make(chan shard, len(shards))
 		for _, s := range shards {
@@ -358,14 +393,14 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 			go func(id int) {
 				defer wg.Done()
 				wsp := m.opts.Tracer.Start("mc.worker", m.span.ID())
-				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts, por: m.por, pt: m.pt}, sh: sh}
+				w := &pworker{checker: checker{l: m.l, p: m.p, cand: m.cand, opts: m.opts, por: m.por, pt: m.pt, hz: m.hz, sym: m.sym}, sh: sh}
 				w.initEval()
 				for s := range queue {
 					if sh.cancel.Load() {
 						break
 					}
 					path := s.path
-					if err := w.dfsChild(s.st, s.t, s.sleep, &path); err != nil {
+					if err := w.dfsChild(s.st, s.t, s.sleep, &path, s.h1, s.h2); err != nil {
 						sh.fail(err)
 						break
 					}
@@ -373,6 +408,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 				perWorker[id] = int(w.expanded)
 				perPruned[id] = w.porPruned
 				perSleep[id] = w.sleepSkips
+				perOrbit[id] = w.orbitHits
 				if wsp.Active() {
 					wsp.End(obs.Int("worker", int64(id)),
 						obs.Int("states", w.expanded),
@@ -388,6 +424,7 @@ func (m *checker) checkParallel(st *state.State) (*Result, error) {
 	for i := 0; i < workers; i++ {
 		m.porPruned += perPruned[i]
 		m.sleepSkips += perSleep[i]
+		m.orbitHits += perOrbit[i]
 	}
 	if sh.err != nil {
 		return nil, sh.err

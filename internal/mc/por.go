@@ -38,6 +38,8 @@ func newFpBits(n int) fpBits { return make(fpBits, (n+63)/64) }
 
 func (b fpBits) set(i int) { b[i>>6] |= 1 << uint(i&63) }
 
+func (b fpBits) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
 func (b fpBits) setRange(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		b.set(i)

@@ -1,0 +1,679 @@
+package mc
+
+// This file is the checker side of thread-symmetry reduction. The IR
+// analysis (internal/ir.Symmetry) finds rings of permutation-equivalent
+// threads for a concrete candidate; this file flattens each ring onto
+// the state layout as a group of state automorphisms and exposes the
+// orbit-canonicalization the search uses: before every visited-set
+// lookup the state's fingerprint is replaced by the minimum fingerprint
+// over its orbit, so permutation-equivalent states collapse to one
+// visited entry.
+//
+// An automorphism act_e is a permutation of the state vector's cells
+// plus three value remaps:
+//
+//   - reference cells are remapped through the per-struct slot
+//     permutation rho (heap slots allocated symmetrically by rotated
+//     threads trade places);
+//   - _lock cells are remapped through the thread-id permutation (a
+//     lock held by thread t is held by g(t) in the permuted state);
+//   - "fork locals" (the paper's fork(p; N) induction variable) are
+//     rewritten to the destination thread's constant once defined.
+//
+// Soundness is re-validated here against the concrete layout before
+// the group is used: every generator must have the claimed order, fix
+// the post-prologue root state, map each member's per-step POR
+// footprint onto the next member's, and be a bijection on cells and
+// slots. Any check failing drops the class (the search stays exact,
+// just unreduced).
+//
+// Composition with POR: persistent and sleep masks stored in the
+// visited table live in the canonical state's thread numbering. A
+// lookup that canonicalizes through element e translates its local
+// masks with e's thread map on the way in and translates the claimed
+// work back with the inverse map on the way out, so revisits through
+// different orbit representatives agree on which transitions are
+// covered. A persistent set of s maps to a persistent set of act_e(s)
+// (the property is closed under automorphism), so the stored mask is
+// valid for every representative.
+
+import (
+	"psketch/internal/ir"
+	"psketch/internal/state"
+	"psketch/internal/types"
+)
+
+// Cell-kind codes for value remapping. Non-negative kinds are an index
+// into the struct table (the cell holds a reference into that struct's
+// arena).
+const (
+	kindPlain int16 = -1 // value copied unchanged
+	kindLock  int16 = -2 // value is a thread id (a _lock field)
+)
+
+// elemFork is one fork-local rewrite: when the source thread has
+// executed its defining step, the destination cell holds the
+// destination member's constant instead of the source's.
+type elemFork struct {
+	thread  int32 // source thread
+	cell    int32 // source cell (the fork local's cell in thread's block)
+	defStep int32
+	dstVal  int32
+}
+
+// symElem is one non-identity group element, flattened for the hot
+// path.
+type symElem struct {
+	cellMap []int32   // image of every value cell (identity off-support)
+	tmap    []int32   // thread permutation
+	inv     []int32   // inverse thread permutation
+	tid     []int32   // thread-id value map, len nthreads+2 (0 = free)
+	rho     [][]int32 // per struct index: slot value map, len arena+1
+	aff     []int32   // cells whose hash contribution can change
+	forks   []elemFork
+}
+
+// symAuto is the automorphism group for one (program, candidate) pair.
+type symAuto struct {
+	size      int
+	sharedEnd int
+	nthreads  int
+	kind      []int16 // per cell: kindPlain, kindLock, or struct index
+	elems     []symElem
+	classes   int // symmetry classes the group was built from
+}
+
+// buildSym flattens the detected classes onto the layout. root must be
+// the post-prologue state (the search root before normalization); its
+// heap decides the slot permutation rho. Returns nil if no class
+// survives validation.
+func buildSym(l *state.Layout, classes []ir.SymClass, pt *porTables, root *state.State) *symAuto {
+	p := l.Prog
+	n := len(p.Threads)
+	if n < 2 || n > 62 || len(classes) == 0 {
+		return nil
+	}
+	a := &symAuto{size: l.Size, sharedEnd: l.SharedCells(), nthreads: n}
+
+	// Struct table (declaration order) and per-cell kinds over the
+	// active region: shared cells plus the forked threads' local
+	// blocks. Cells of the one-shot sequences (global init, prologue,
+	// epilogue, spec) are constant during the search and stay
+	// kindPlain with identity mapping.
+	sidx := map[string]int{}
+	var snames []string
+	for _, sd := range p.Sketch.Prog.Structs {
+		sidx[sd.Name] = len(snames)
+		snames = append(snames, sd.Name)
+	}
+	a.kind = make([]int16, l.Size)
+	for i := range a.kind {
+		a.kind[i] = kindPlain
+	}
+	classify := func(off int, t types.Type) bool {
+		if t.Base != types.Ref {
+			return true
+		}
+		si, ok := sidx[t.Struct]
+		if !ok {
+			return false // wildcard-typed ref cell: cannot remap
+		}
+		nc := 1
+		if t.IsArray() {
+			nc = t.Len
+		}
+		for c := 0; c < nc; c++ {
+			a.kind[off+c] = int16(si)
+		}
+		return true
+	}
+	for gi, g := range p.Globals {
+		if !classify(l.GlobalOff(gi), g.Type) {
+			return nil
+		}
+	}
+	for _, name := range snames {
+		si := p.Sketch.Info.Structs[name]
+		for _, f := range si.Fields {
+			for s := 1; s <= p.Arenas[name]; s++ {
+				off, err := l.FieldOff(name, f.Name, int32(s))
+				if err != nil {
+					return nil
+				}
+				if f.Name == "_lock" {
+					a.kind[off] = kindLock
+				} else if !classify(off, f.Type) {
+					return nil
+				}
+			}
+		}
+	}
+	blockLo, blockHi := threadBlocks(l)
+	for t, seq := range p.Threads {
+		for i, v := range seq.Locals {
+			if !classify(l.LocalOff(p.Threads[t], i), v.Type) {
+				return nil
+			}
+		}
+	}
+
+	ident := func() symElem {
+		e := symElem{
+			cellMap: make([]int32, l.Size),
+			tmap:    make([]int32, n),
+			tid:     make([]int32, n+2),
+			rho:     make([][]int32, len(snames)),
+		}
+		for c := range e.cellMap {
+			e.cellMap[c] = int32(c)
+		}
+		for t := range e.tmap {
+			e.tmap[t] = int32(t)
+		}
+		for v := range e.tid {
+			e.tid[v] = int32(v)
+		}
+		for s, name := range snames {
+			r := make([]int32, p.Arenas[name]+1)
+			for v := range r {
+				r[v] = int32(v)
+			}
+			e.rho[s] = r
+		}
+		return e
+	}
+	isIdent := func(e *symElem) bool {
+		for c, d := range e.cellMap {
+			if int(d) != c {
+				return false
+			}
+		}
+		for t, d := range e.tmap {
+			if int(d) != t {
+				return false
+			}
+		}
+		for v, d := range e.tid {
+			if int(d) != v {
+				return false
+			}
+		}
+		for _, r := range e.rho {
+			for v, d := range r {
+				if int(d) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// compose returns "apply x, then y". Fork rewrites are only valid
+	// for cross-class composition (disjoint supports); same-class
+	// powers regenerate them directly.
+	compose := func(x, y *symElem) symElem {
+		e := symElem{
+			cellMap: make([]int32, l.Size),
+			tmap:    make([]int32, n),
+			tid:     make([]int32, n+2),
+			rho:     make([][]int32, len(snames)),
+		}
+		for c := range e.cellMap {
+			e.cellMap[c] = y.cellMap[x.cellMap[c]]
+		}
+		for t := range e.tmap {
+			e.tmap[t] = y.tmap[x.tmap[t]]
+		}
+		for v := range e.tid {
+			e.tid[v] = y.tid[x.tid[v]]
+		}
+		for s := range e.rho {
+			r := make([]int32, len(x.rho[s]))
+			for v := range r {
+				r[v] = y.rho[s][x.rho[s][v]]
+			}
+			e.rho[s] = r
+		}
+		e.forks = append(append([]elemFork(nil), x.forks...), y.forks...)
+		return e
+	}
+
+	// buildGen flattens one class's ring generator (rotation by one).
+	buildGen := func(cl ir.SymClass) (symElem, bool) {
+		k := len(cl.Members)
+		e := ident()
+		for i, m := range cl.Members {
+			d := cl.Members[(i+1)%k]
+			e.tmap[m] = int32(d)
+			e.tid[m+1] = int32(d + 1)
+			if blockHi[m]-blockLo[m] != blockHi[d]-blockLo[d] {
+				return e, false
+			}
+			for o := 0; o < blockHi[m]-blockLo[m]; o++ {
+				e.cellMap[blockLo[m]+o] = int32(blockLo[d] + o)
+			}
+		}
+		// rho: explicit slot moves from the analysis, then constraints
+		// from the root's values on moved reference cells, then
+		// identity completion checked for bijectivity.
+		set := make([][]bool, len(snames))
+		for s := range set {
+			set[s] = make([]bool, len(e.rho[s]))
+		}
+		setRho := func(si int, from, to int32) bool {
+			if from <= 0 || int(from) >= len(e.rho[si]) || to <= 0 || int(to) >= len(e.rho[si]) {
+				return false
+			}
+			if set[si][from] {
+				return e.rho[si][from] == to
+			}
+			set[si][from] = true
+			e.rho[si][from] = to
+			return true
+		}
+		for _, sp := range cl.Slots {
+			si, ok := sidx[sp.Struct]
+			if !ok || !setRho(si, int32(sp.From), int32(sp.To)) {
+				return e, false
+			}
+		}
+		for _, cp := range cl.Cells {
+			from := l.GlobalOff(cp.Global) + cp.From
+			to := l.GlobalOff(cp.Global) + cp.To
+			e.cellMap[from] = int32(to)
+			if si := a.kind[from]; si >= 0 {
+				v, w := root.Cells[from], root.Cells[to]
+				if (v == 0) != (w == 0) {
+					return e, false
+				}
+				if v != 0 && !setRho(int(si), v, w) {
+					return e, false
+				}
+			}
+		}
+		for s := range e.rho {
+			seen := make([]bool, len(e.rho[s]))
+			for v := 1; v < len(e.rho[s]); v++ {
+				w := e.rho[s][v]
+				if w <= 0 || int(w) >= len(e.rho[s]) || seen[w] {
+					return e, false
+				}
+				seen[w] = true
+			}
+		}
+		for _, fs := range cl.FixedSlots {
+			si, ok := sidx[fs.Struct]
+			if !ok || fs.Slot <= 0 || fs.Slot >= len(e.rho[si]) || e.rho[si][fs.Slot] != int32(fs.Slot) {
+				return e, false
+			}
+		}
+		// Arena cells follow their slot under rho.
+		for s, name := range snames {
+			si := p.Sketch.Info.Structs[name]
+			for slot := 1; slot < len(e.rho[s]); slot++ {
+				d := e.rho[s][slot]
+				if d == int32(slot) {
+					continue
+				}
+				for _, f := range si.Fields {
+					from, err1 := l.FieldOff(name, f.Name, int32(slot))
+					to, err2 := l.FieldOff(name, f.Name, d)
+					if err1 != nil || err2 != nil {
+						return e, false
+					}
+					e.cellMap[from] = int32(to)
+				}
+			}
+		}
+		for _, fl := range cl.ForkLocals {
+			if len(fl.Vals) != k {
+				return e, false
+			}
+			for i, m := range cl.Members {
+				if fl.Local < 0 || fl.Local >= len(p.Threads[m].Locals) {
+					return e, false
+				}
+				e.forks = append(e.forks, elemFork{
+					thread:  int32(m),
+					cell:    int32(l.LocalOff(p.Threads[m], fl.Local)),
+					defStep: int32(fl.DefStep),
+					dstVal:  int32(fl.Vals[(i+1)%k]),
+				})
+			}
+		}
+		return e, true
+	}
+	// power regenerates rotation-by-j from the generator (fork rewrites
+	// rebuilt for the composite shift).
+	power := func(cl ir.SymClass, gen *symElem, j int) symElem {
+		e := *gen
+		for i := 1; i < j; i++ {
+			e = compose(&e, gen)
+		}
+		e.forks = nil
+		k := len(cl.Members)
+		for _, fl := range cl.ForkLocals {
+			for i, m := range cl.Members {
+				e.forks = append(e.forks, elemFork{
+					thread:  int32(m),
+					cell:    int32(l.LocalOff(p.Threads[m], fl.Local)),
+					defStep: int32(fl.DefStep),
+					dstVal:  int32(fl.Vals[(i+j)%k]),
+				})
+			}
+		}
+		return e
+	}
+
+	// Validate each class against the layout; accept greedily while the
+	// composite group stays small and supports stay disjoint.
+	scratch := root.Clone()
+	rootFixed := func(e *symElem) bool {
+		a.applyAct(scratch, root, e)
+		for c := range root.Cells {
+			if scratch.Cells[c] != root.Cells[c] {
+				return false
+			}
+		}
+		for t := range root.PCs {
+			if scratch.PCs[t] != root.PCs[t] {
+				return false
+			}
+		}
+		return true
+	}
+	fpEquiv := func(cl ir.SymClass, gen *symElem) bool {
+		k := len(cl.Members)
+		for i, m := range cl.Members {
+			d := cl.Members[(i+1)%k]
+			if len(pt.cur[m]) != len(pt.cur[d]) {
+				return false
+			}
+			for pc := range pt.cur[m] {
+				if !permEq(gen, pt.cur[m][pc].r, pt.cur[d][pc].r, a.sharedEnd) ||
+					!permEq(gen, pt.cur[m][pc].w, pt.cur[d][pc].w, a.sharedEnd) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	type accepted struct {
+		cl     ir.SymClass
+		powers []symElem // index j in 1..k-1
+	}
+	var acc []accepted
+	usedThread := make([]bool, n)
+	usedCell := make([]bool, l.Size)
+	rhoOwner := make([]int, len(snames))
+	for s := range rhoOwner {
+		rhoOwner[s] = -1
+	}
+	total := 1
+	for ci, cl := range classes {
+		k := len(cl.Members)
+		if k < 2 || total*k > 64 {
+			continue
+		}
+		gen, ok := buildGen(cl)
+		if !ok {
+			continue
+		}
+		// Disjointness with already-accepted classes.
+		clash := false
+		for _, m := range cl.Members {
+			if usedThread[m] {
+				clash = true
+			}
+		}
+		for c := range gen.cellMap {
+			if int(gen.cellMap[c]) != c && usedCell[c] {
+				clash = true
+			}
+		}
+		for s := range gen.rho {
+			nontrivial := false
+			for v, d := range gen.rho[s] {
+				if int(d) != v {
+					nontrivial = true
+				}
+			}
+			if nontrivial && rhoOwner[s] >= 0 {
+				clash = true
+			}
+		}
+		if clash {
+			continue
+		}
+		// Order k, root fixpoint, footprint equivariance.
+		idc := power(cl, &gen, 1)
+		for i := 1; i < k; i++ {
+			idc = compose(&idc, &gen)
+		}
+		if !isIdent(&idc) || !rootFixed(&gen) || !fpEquiv(cl, &gen) {
+			continue
+		}
+		ac := accepted{cl: cl}
+		for j := 1; j < k; j++ {
+			ac.powers = append(ac.powers, power(cl, &gen, j))
+		}
+		acc = append(acc, ac)
+		total *= k
+		for _, m := range cl.Members {
+			usedThread[m] = true
+		}
+		for c := range gen.cellMap {
+			if int(gen.cellMap[c]) != c {
+				usedCell[c] = true
+			}
+		}
+		for s := range gen.rho {
+			for v, d := range gen.rho[s] {
+				if int(d) != v {
+					rhoOwner[s] = ci
+					break
+				}
+			}
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	a.classes = len(acc)
+
+	// Composite group: the product of the accepted classes' cyclic
+	// groups, identity omitted. Supports are disjoint, so composition
+	// order does not matter and fork lists concatenate.
+	elems := []symElem{}
+	var build func(i int, cur *symElem)
+	build = func(i int, cur *symElem) {
+		if i == len(acc) {
+			if cur != nil {
+				elems = append(elems, *cur)
+			}
+			return
+		}
+		build(i+1, cur) // power 0 of this class
+		for j := range acc[i].powers {
+			pw := &acc[i].powers[j]
+			if cur == nil {
+				cp := *pw
+				build(i+1, &cp)
+			} else {
+				cp := compose(cur, pw)
+				build(i+1, &cp)
+			}
+		}
+	}
+	build(0, nil)
+	for i := range elems {
+		a.finalize(&elems[i])
+	}
+	a.elems = elems
+	return a
+}
+
+// finalize computes the element's affected-cell list and inverse
+// thread map.
+func (a *symAuto) finalize(e *symElem) {
+	rhoTriv := make([]bool, len(e.rho))
+	for s := range e.rho {
+		rhoTriv[s] = true
+		for v, d := range e.rho[s] {
+			if int(d) != v {
+				rhoTriv[s] = false
+				break
+			}
+		}
+	}
+	tidTriv := true
+	for v, d := range e.tid {
+		if int(d) != v {
+			tidTriv = false
+			break
+		}
+	}
+	for c := 0; c < a.size; c++ {
+		moved := int(e.cellMap[c]) != c
+		switch k := a.kind[c]; {
+		case k >= 0:
+			if moved || !rhoTriv[k] {
+				e.aff = append(e.aff, int32(c))
+			}
+		case k == kindLock:
+			if moved || !tidTriv {
+				e.aff = append(e.aff, int32(c))
+			}
+		default:
+			if moved {
+				e.aff = append(e.aff, int32(c))
+			}
+		}
+	}
+	e.inv = make([]int32, len(e.tmap))
+	for t, d := range e.tmap {
+		e.inv[d] = int32(t)
+	}
+}
+
+// permEq reports whether src's bits, pushed through the element's cell
+// map, equal dst's over the first n cells.
+func permEq(e *symElem, src, dst fpBits, n int) bool {
+	for c := 0; c < n; c++ {
+		if src.get(c) != dst.get(int(e.cellMap[c])) {
+			return false
+		}
+	}
+	return true
+}
+
+// remap applies the element's value maps to cell c's value v.
+func (a *symAuto) remap(e *symElem, c int32, v int32) int32 {
+	switch k := a.kind[c]; {
+	case k >= 0:
+		if v > 0 && int(v) < len(e.rho[k]) {
+			return e.rho[k][v]
+		}
+	case k == kindLock:
+		if v >= 0 && int(v) < len(e.tid) {
+			return e.tid[v]
+		}
+	}
+	return v
+}
+
+// imageHash returns the fingerprint of act_e(st), derived from st's
+// own fingerprint by XORing out each affected cell's contribution and
+// XORing in its image's.
+func (a *symAuto) imageHash(st *state.State, e *symElem, h1, h2 uint64) (uint64, uint64) {
+	for _, c := range e.aff {
+		v := st.Cells[c]
+		w := a.remap(e, c, v)
+		d := int(e.cellMap[c])
+		h1 ^= zmix(zobSeed1, int(c), v) ^ zmix(zobSeed1, d, w)
+		h2 ^= zmix(zobSeed2, int(c), v) ^ zmix(zobSeed2, d, w)
+	}
+	for _, f := range e.forks {
+		if st.PCs[f.thread] > f.defStep {
+			d := int(e.cellMap[f.cell])
+			v := st.Cells[f.cell]
+			if v != f.dstVal {
+				h1 ^= zmix(zobSeed1, d, v) ^ zmix(zobSeed1, d, f.dstVal)
+				h2 ^= zmix(zobSeed2, d, v) ^ zmix(zobSeed2, d, f.dstVal)
+			}
+		}
+	}
+	for t, pc := range st.PCs {
+		if d := int(e.tmap[t]); d != t {
+			h1 ^= zmix(zobSeed1, a.size+t, pc) ^ zmix(zobSeed1, a.size+d, pc)
+			h2 ^= zmix(zobSeed2, a.size+t, pc) ^ zmix(zobSeed2, a.size+d, pc)
+		}
+	}
+	return h1, h2
+}
+
+// canonKey returns the orbit-minimal fingerprint of st and the element
+// that reaches it (nil for the identity).
+func (a *symAuto) canonKey(st *state.State, h1, h2 uint64) (uint64, uint64, *symElem) {
+	b1, b2 := h1, h2
+	var be *symElem
+	for i := range a.elems {
+		e := &a.elems[i]
+		g1, g2 := a.imageHash(st, e, h1, h2)
+		if g1 < b1 || (g1 == b1 && g2 < b2) {
+			b1, b2, be = g1, g2, e
+		}
+	}
+	return b1, b2, be
+}
+
+// applyAct materializes act_e(src) into dst (dst must not alias src).
+// Affected cells are a permutation-closed set, so writing each image
+// over a plain copy is exact.
+func (a *symAuto) applyAct(dst, src *state.State, e *symElem) {
+	dst.CopyFrom(src)
+	if e == nil {
+		return
+	}
+	for _, c := range e.aff {
+		dst.Cells[e.cellMap[c]] = a.remap(e, c, src.Cells[c])
+	}
+	for _, f := range e.forks {
+		if src.PCs[f.thread] > f.defStep {
+			dst.Cells[e.cellMap[f.cell]] = f.dstVal
+		}
+	}
+	for t, pc := range src.PCs {
+		dst.PCs[e.tmap[t]] = pc
+	}
+}
+
+// symFwd translates a thread bitmask into the canonical frame reached
+// through e (nil is the identity).
+func symFwd(mask uint64, e *symElem) uint64 {
+	if e == nil || mask == 0 {
+		return mask
+	}
+	out := uint64(0)
+	for t, d := range e.tmap {
+		if mask&(1<<uint(t)) != 0 {
+			out |= 1 << uint(d)
+		}
+	}
+	return out
+}
+
+// symInv translates a canonical-frame thread bitmask back to the local
+// frame.
+func symInv(mask uint64, e *symElem) uint64 {
+	if e == nil || mask == 0 {
+		return mask
+	}
+	out := uint64(0)
+	for t, d := range e.inv {
+		if mask&(1<<uint(t)) != 0 {
+			out |= 1 << uint(d)
+		}
+	}
+	return out
+}

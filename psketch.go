@@ -75,6 +75,15 @@ type Options struct {
 	// reduction (on by default; see ARCHITECTURE.md for the reduction
 	// knobs and their soundness cross-checks).
 	NoPOR bool
+	// NoSymmetry disables the model checker's thread-symmetry (orbit)
+	// reduction (on by default; see ARCHITECTURE.md).
+	NoSymmetry bool
+	// MCCompress selects the model checker's visited-set representation:
+	// "" (exact fingerprint table, the default), "collapse" (exact,
+	// component-interned), or "bitstate" (lossy supertrace; verdicts lose
+	// their completeness guarantee). Non-empty modes force the verifier
+	// sequential.
+	MCCompress string
 	// NoPipeline disables the speculative solve/verify overlap of the
 	// concurrent CEGIS engine (on by default at Parallelism > 1).
 	NoPipeline bool
@@ -132,6 +141,8 @@ func (s *Sketch) coreOpts() core.Options {
 		TracesPerIteration: s.opts.TracesPerIteration,
 		Parallelism:        s.opts.Parallelism,
 		NoPOR:              s.opts.NoPOR,
+		NoSymmetry:         s.opts.NoSymmetry,
+		MCCompress:         s.opts.MCCompress,
 		NoPipeline:         s.opts.NoPipeline,
 		NoShareClauses:     s.opts.NoShareClauses,
 		Proof:              s.opts.Proof,
@@ -243,6 +254,7 @@ func (s *Sketch) ModelCheck(cand Candidate) (ok bool, counterexample string, err
 	}
 	res, err := mc.Check(layout, cand, mc.Options{
 		MaxStates: s.opts.MCMaxStates, Parallelism: s.opts.Parallelism, NoPOR: s.opts.NoPOR,
+		NoSymmetry: s.opts.NoSymmetry, Compress: s.opts.MCCompress,
 		Cancel: s.opts.Cancel,
 		Tracer: s.opts.Trace, ParentSpan: s.opts.TraceParent,
 	})
