@@ -16,10 +16,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"psketch/internal/bench"
 	"psketch/internal/obs"
+	"psketch/internal/sketches"
 )
 
 func main() {
@@ -46,8 +48,18 @@ func main() {
 		flight     = flag.Int("flight", 0, "keep a flight recorder of the last N spans, dumped to <journal>.flight.jsonl if a run errors")
 		debugAddr  = flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 		heapSample = flag.Int("heap-sample", 1, "sample the heap high-water mark every N CEGIS iterations (0 = once per run)")
+		cubes      = flag.Int("cubes", 0, "run every test cube-and-conquer with N cubes racing (0/1 = single engine)")
+		cubeWork   = flag.Int("cube-workers", 0, "concurrent cube engines under -cubes (0 = one per cube)")
+		dumpSketch = flag.String("dump-sketch", "", "print the sketch source of benchmark NAME[:test] and exit (feeds psketch -serve-cubes)")
 	)
 	flag.Parse()
+	if *dumpSketch != "" {
+		if err := dumpSketchSource(*dumpSketch); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -141,6 +153,7 @@ func main() {
 		TracesPerIteration: *traces, Parallelism: *par, NoPOR: *noPOR,
 		NoSymmetry: *noSym, MCCompress: *compress,
 		NoPipeline: !*pipeline, NoShareClauses: !*share, Proof: *proof,
+		Cubes: *cubes, CubeWorkers: *cubeWork,
 		Trace: tr, Metrics: met, HeapSampleEvery: *heapSample,
 	}
 	if *verbose {
@@ -181,6 +194,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d row(s) to %s\n", len(rows), *jsonOut)
 	}
+}
+
+// dumpSketchSource prints the complete sketch text of one benchmark
+// row ("lazyset" or "lazyset:ar(ar|ar)"; the default test is the
+// benchmark's first) so a multi-process cube run can be driven from
+// the Table 1 grid without checked-in .psk copies:
+//
+//	pskbench -dump-sketch 'lazyset:ar(ar|ar)' > lazyset.psk
+//	psketch -serve-cubes 127.0.0.1:7331 -cubes 4 lazyset.psk
+func dumpSketchSource(spec string) error {
+	name, test, _ := strings.Cut(spec, ":")
+	for _, b := range append(sketches.All(), sketches.Extras()...) {
+		if b.Name != name {
+			continue
+		}
+		if test == "" {
+			test = b.Tests[0]
+		}
+		src, err := b.Source(test)
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+	}
+	return fmt.Errorf("unknown benchmark %q (see pskbench -table1 for names)", name)
 }
 
 // dumpFlight writes the flight recorder's last spans as a well-formed

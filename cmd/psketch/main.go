@@ -41,8 +41,27 @@ func main() {
 		proof     = flag.Bool("proofcheck", false, "log DRAT proofs and replay every UNSAT verdict through the backward checker")
 		journal   = flag.String("journal", "", "write a structured run journal (JSONL) to this file; inspect with psktrace")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics and /debug/pprof on this address")
+		cubes     = flag.Int("cubes", 0, "split the candidate space into N cubes and race them (cube-and-conquer; 0/1 = off)")
+		cubeWork  = flag.Int("cube-workers", 0, "concurrent cube engines under -cubes (0 = one per cube)")
+		serve     = flag.String("serve-cubes", "", "coordinate a multi-process cube run on this address (e.g. 127.0.0.1:7331); pair with psketch -join")
+		serveLoc  = flag.Int("serve-local", 1, "in-process cube engines the -serve-cubes coordinator runs alongside joiners")
+		join      = flag.String("join", "", "join a -serve-cubes coordinator at this address and run cubes it hands out (no file argument)")
 	)
 	flag.Parse()
+	if *join != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: psketch -join host:port (the sketch arrives over the wire)")
+			os.Exit(1)
+		}
+		vf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		if err := psketch.JoinCubes(*join, vf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: psketch [flags] file.psk")
 		os.Exit(1)
@@ -110,6 +129,8 @@ func main() {
 		NoPipeline:         !*pipeline,
 		NoShareClauses:     !*share,
 		Proof:              *proof,
+		Cubes:              *cubes,
+		CubeWorkers:        *cubeWork,
 		Trace:              tr,
 		Metrics:            met,
 	}
@@ -160,10 +181,25 @@ func main() {
 		}
 		exit(0)
 	}
-	res, err := sk.Synthesize()
+	var res *psketch.Result
+	if *serve != "" {
+		if opts.Cubes < 2 {
+			opts.Cubes = 2 // serving implies a split; default to the minimum
+		}
+		res, err = psketch.ServeCubes(*serve, string(src), tgt, *serveLoc, opts)
+	} else {
+		res, err = sk.Synthesize()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
+	}
+	if res.Cube != nil && *verbose {
+		for _, pc := range res.Cube.PerCube {
+			fmt.Fprintf(os.Stderr, "cube %d: resolved=%v exhausted=%v canceled=%v remote=%v stolen=%v iters=%d remote_traces=%d pruned=%d\n",
+				pc.ID, pc.Resolved, pc.Exhausted, pc.Canceled, pc.Remote, pc.Stolen,
+				pc.Stats.Iterations, pc.RemoteTraces, pc.PrunedByRemote)
+		}
 	}
 	if !res.Resolved {
 		fmt.Println("NO — the sketch cannot be resolved")

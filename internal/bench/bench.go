@@ -5,12 +5,14 @@ import (
 	"io"
 	"math"
 	"math/big"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"psketch/internal/core"
+	"psketch/internal/cube"
 	"psketch/internal/desugar"
 	"psketch/internal/obs"
 	"psketch/internal/parser"
@@ -63,6 +65,19 @@ type Row struct {
 	ProofLemmas  int
 	ProofChecked int
 	ProofCheck   time.Duration
+	// Cube-and-conquer columns (zero unless Options.Cubes > 1): actual
+	// cube count, winning cube (-1 for NO), cubes run by stealing
+	// workers, per-cube iteration counts, and the cross-cube exchange
+	// totals (bus clauses, relayed traces, candidates pruned by a
+	// remote trace before local verification).
+	Cubes              int
+	CubeWinner         int
+	CubeStolen         int64
+	CubeIters          []int
+	SATBusExported     int64
+	SATBusImported     int64
+	CubeRemoteTraces   int64
+	CubePrunedByRemote int64
 }
 
 // Options configure a benchmark sweep.
@@ -104,6 +119,13 @@ type Options struct {
 	// Proof replays every committed UNSAT verdict through the DRAT
 	// backward checker (overhead measurement; off by default).
 	Proof bool
+	// Cubes > 1 runs every test cube-and-conquer (internal/cube): the
+	// candidate space splits into that many cubes (rounded down to a
+	// power of two) racing in-process, and Parallelism is divided among
+	// them. 0/1 keeps the single-engine loop.
+	Cubes int
+	// CubeWorkers bounds concurrent cube engines (0 = one per cube).
+	CubeWorkers int
 	// Trace/Metrics forward the observability layer into every run:
 	// each RunOne wraps its synthesis in a "bench.run" span (attrs:
 	// bench, test) and the CEGIS spans nest under it. Nil disables.
@@ -157,7 +179,7 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 			rsp.End(obs.Str("bench", b.Name), obs.Str("test", test), obs.Str("status", status))
 		}
 	}
-	syn, err := core.New(sk, core.Options{
+	copts := core.Options{
 		MCMaxStates:        maxStates,
 		Verbose:            opts.Verbose,
 		TracesPerIteration: opts.TracesPerIteration,
@@ -173,26 +195,52 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 		TraceParent:        rsp.ID(),
 		Metrics:            opts.Metrics,
 		HeapSampleEvery:    opts.HeapSampleEvery,
-	})
-	if err != nil {
-		endRun("compile_error")
-		row.Err = err
-		return row
 	}
 	type outcome struct {
 		res *core.Result
+		cr  *cube.Result
 		err error
 	}
 	ch := make(chan outcome, 1)
-	go func() {
-		r, e := syn.Synthesize()
-		ch <- outcome{r, e}
-	}()
-	var res *core.Result
+	if opts.Cubes > 1 {
+		// Cube-and-conquer sweep: the requested parallelism is divided
+		// among the racing cube engines, mirroring psketch's -cubes.
+		total := copts.Parallelism
+		if total <= 0 {
+			total = runtime.GOMAXPROCS(0)
+		}
+		cubes := 2
+		for cubes*2 <= opts.Cubes {
+			cubes *= 2
+		}
+		copts.Parallelism = total / cubes
+		if copts.Parallelism < 1 {
+			copts.Parallelism = 1
+		}
+		copts.Proof = false
+		go func() {
+			cr, e := cube.Synthesize(sk, cube.Options{
+				Cubes: opts.Cubes, Workers: opts.CubeWorkers,
+				Proof: opts.Proof, Core: copts,
+			})
+			ch <- outcome{cr: cr, err: e}
+		}()
+	} else {
+		syn, err := core.New(sk, copts)
+		if err != nil {
+			endRun("compile_error")
+			row.Err = err
+			return row
+		}
+		go func() {
+			r, e := syn.Synthesize()
+			ch <- outcome{res: r, err: e}
+		}()
+	}
+	var o outcome
 	if opts.Timeout > 0 {
 		select {
-		case o := <-ch:
-			res, err = o.res, o.err
+		case o = <-ch:
 		case <-time.After(opts.Timeout):
 			// Tear the run down cooperatively and join it, so a timed-out
 			// benchmark does not leave solver/verifier goroutines running
@@ -204,15 +252,30 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 			return row
 		}
 	} else {
-		o := <-ch
-		res, err = o.res, o.err
+		o = <-ch
 	}
-	if err != nil {
+	if o.err != nil {
 		endRun("error")
-		row.Err = err
+		row.Err = o.err
 		return row
 	}
 	endRun("done")
+	res := o.res
+	if o.cr != nil {
+		// Re-wrap the merged cube outcome as a core result for the
+		// shared column extraction, then add the cube columns.
+		res = &core.Result{Resolved: o.cr.Resolved, Candidate: o.cr.Candidate, Stats: o.cr.Stats}
+		row.Cubes = len(o.cr.PerCube)
+		row.CubeWinner = o.cr.Winner
+		row.CubeStolen = o.cr.Stolen
+		for _, pc := range o.cr.PerCube {
+			row.CubeIters = append(row.CubeIters, pc.Stats.Iterations)
+			row.CubeRemoteTraces += pc.RemoteTraces
+			row.CubePrunedByRemote += pc.PrunedByRemote
+		}
+	}
+	row.SATBusExported = res.Stats.SATBusExported
+	row.SATBusImported = res.Stats.SATBusImported
 	row.Resolved = res.Resolved
 	row.Itns = res.Stats.Iterations
 	row.Total = res.Stats.Total
@@ -283,6 +346,9 @@ func RunFig9(w io.Writer, opts Options) []Row {
 			if row.Parallelism > 1 {
 				fmt.Fprint(w, workerLine(row))
 			}
+			if row.Cubes > 0 {
+				fmt.Fprint(w, cubeLine(row))
+			}
 		}
 	}
 	return rows
@@ -311,6 +377,18 @@ func workerLine(row Row) string {
 	fmt.Fprintf(&b, "%-9s %-14s |   pipe[%d spec, %d adopted, %s overlapped] proj[%d hit/%d miss, %d entries saved]\n",
 		"", "", row.SpecSolves, row.SpecHits, short(row.SpecSolve),
 		row.ProjHits, row.ProjMisses, row.ProjSaved)
+	return b.String()
+}
+
+// cubeLine renders the cube-and-conquer columns of a -cubes run: the
+// winning cube, per-cube iteration spread, queue stealing, and the
+// cross-cube exchange totals.
+func cubeLine(row Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-14s |   cubes=%d winner=%d stolen=%d iters=%v",
+		"", "", row.Cubes, row.CubeWinner, row.CubeStolen, row.CubeIters)
+	fmt.Fprintf(&b, " bus[%dexp/%dimp] traces[%d relayed, %d pruned]\n",
+		row.SATBusExported, row.SATBusImported, row.CubeRemoteTraces, row.CubePrunedByRemote)
 	return b.String()
 }
 

@@ -274,6 +274,9 @@ func compareOptions(g *GateResult, b, c jsonOptions) {
 	if c.Proof && !b.Proof {
 		g.warnf("config: candidate ran with proof replay on, baseline without — expect overhead")
 	}
+	if b.Cubes != c.Cubes {
+		g.warnf("config: cubes %d vs baseline %d — per-test work not comparable", c.Cubes, b.Cubes)
+	}
 	if b.GoVersion != "" && c.GoVersion != "" && b.GoVersion != c.GoVersion {
 		g.warnf("config: %s vs baseline %s", c.GoVersion, b.GoVersion)
 	}

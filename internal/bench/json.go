@@ -53,6 +53,17 @@ type jsonRow struct {
 	ProofLemmas  int     `json:"proof_lemmas,omitempty"`
 	ProofChecked int     `json:"proof_checked,omitempty"`
 	ProofCheckMS float64 `json:"proof_check_ms,omitempty"`
+
+	// Cube-and-conquer columns (absent in reports from single-engine
+	// sweeps and pre-PR7 files; omitempty keeps them diff-clean).
+	Cubes              int   `json:"cubes,omitempty"`
+	CubeWinner         int   `json:"cube_winner,omitempty"`
+	CubeStolen         int64 `json:"cube_stolen,omitempty"`
+	CubeIters          []int `json:"cube_iters,omitempty"`
+	SATBusExported     int64 `json:"sat_bus_exported,omitempty"`
+	SATBusImported     int64 `json:"sat_bus_imported,omitempty"`
+	CubeRemoteTraces   int64 `json:"cube_remote_traces,omitempty"`
+	CubePrunedByRemote int64 `json:"cube_pruned_by_remote,omitempty"`
 }
 
 // jsonOptions is the engine + host configuration header of a report.
@@ -76,6 +87,8 @@ type jsonOptions struct {
 
 	MCMaxStates int    `json:"mc_max_states,omitempty"`
 	Proof       bool   `json:"proof,omitempty"`
+	Cubes       int    `json:"cubes,omitempty"`
+	CubeWorkers int    `json:"cube_workers,omitempty"`
 	GoVersion   string `json:"go_version,omitempty"`
 	GOOS        string `json:"goos,omitempty"`
 	GOARCH      string `json:"goarch,omitempty"`
@@ -107,6 +120,8 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 	rep.Options.Filter = opts.Filter
 	rep.Options.MCMaxStates = opts.MCMaxStates
 	rep.Options.Proof = opts.Proof
+	rep.Options.Cubes = opts.Cubes
+	rep.Options.CubeWorkers = opts.CubeWorkers
 	rep.Options.GoVersion = runtime.Version()
 	rep.Options.GOOS = runtime.GOOS
 	rep.Options.GOARCH = runtime.GOARCH
@@ -127,6 +142,9 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 			SATExported: r.SATExported, SATImported: r.SATImported,
 			ProjHits: r.ProjHits, ProjMisses: r.ProjMisses, ProjSaved: r.ProjSaved,
 			ProofLemmas: r.ProofLemmas, ProofChecked: r.ProofChecked, ProofCheckMS: ms(r.ProofCheck),
+			Cubes: r.Cubes, CubeWinner: r.CubeWinner, CubeStolen: r.CubeStolen,
+			CubeIters: r.CubeIters, SATBusExported: r.SATBusExported, SATBusImported: r.SATBusImported,
+			CubeRemoteTraces: r.CubeRemoteTraces, CubePrunedByRemote: r.CubePrunedByRemote,
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()

@@ -118,6 +118,52 @@ type Options struct {
 	// constraint; if a projection claims this candidate fails, the
 	// synthesizer reports it via Verbose (soundness debugging).
 	WatchCandidate desugar.Candidate
+
+	// Cube restricts the synthesizer to the sub-space of candidates in
+	// which each listed hole bit takes the given value (cube-and-conquer
+	// CEGIS, internal/cube). The cube literals are passed to every
+	// synthesis solve as ASSUMPTIONS, never added as clauses — the
+	// soundness lever of the whole scheme: first-UIP learning resolves
+	// only on reason clauses, so assumption literals surface in learnt
+	// clauses instead of becoming hidden premises, every clause this
+	// synthesizer learns or derives is implied by the problem clauses
+	// alone, and cross-cube clause sharing plus merged DRAT logging stay
+	// sound. An empty Cube is the whole space.
+	Cube []CubeLit
+	// CubeID identifies this synthesizer on TraceBus and ClauseBus (and
+	// in spans/counters). Zero outside cube mode.
+	CubeID int
+	// TraceBus, when set, connects the synthesizer to the cross-cube
+	// counterexample exchange: every projected trace is published, and
+	// other cubes' projections are imported at iteration boundaries and
+	// installed as constraints (projections are facts about the entire
+	// candidate space — see internal/project — so a trace found in one
+	// cube prunes every other).
+	TraceBus *project.Bus
+	// ClauseBus likewise connects the SAT backend to the cross-cube
+	// learnt-clause exchange (prefix-only clauses; see sat.Bus).
+	ClauseBus *sat.Bus
+	// ProofSink, when set, is an external DRAT sink (typically a
+	// drat.Namespace of internal/cube's shared Recorder) the SAT backend
+	// logs into instead of a private recorder. The sink's owner is then
+	// responsible for certifying the merged UNSAT verdict: the
+	// synthesizer skips its own certification and Result.Certificate
+	// stays nil. Overrides Proof.
+	ProofSink drat.Sink
+	// Prog, when set, is a pre-lowered program for the sketch, shared
+	// read-only; New skips its own ir.Lower call. In-process cube mode
+	// requires this: ir.Lower mutates AST nodes the sketch shares
+	// across engines (alloc-site numbering), so concurrent workers must
+	// lower once, before the race starts, not once each.
+	Prog *ir.Program
+}
+
+// CubeLit fixes one bit of one hole: bit Bit of hole Hole takes value
+// Val throughout this synthesizer's cube.
+type CubeLit struct {
+	Hole int  `json:"hole"`
+	Bit  int  `json:"bit"`
+	Val  bool `json:"val"`
 }
 
 func (o Options) defaults() Options {
@@ -186,9 +232,17 @@ type Stats struct {
 	SpecHits   int
 	SpecSolve  time.Duration
 	// SATExported/SATImported total the clauses exchanged through the
-	// portfolio's shared pool across all workers.
-	SATExported int64
-	SATImported int64
+	// portfolio's shared pool across all workers;
+	// SATBusExported/SATBusImported total the clauses relayed over the
+	// cross-cube bus. Like the reduction stats above (and unlike in
+	// earlier revisions), all four are per-run deltas tracked on the
+	// synthesizer, so concurrent cube workers and repeated runs sharing
+	// one Metrics registry no longer overwrite each other's registry
+	// values — the registry accumulates (Add), Stats stays per-run.
+	SATExported    int64
+	SATImported    int64
+	SATBusExported int64
+	SATBusImported int64
 	// Projection-encoding cache effectiveness: Encode calls that
 	// restored a memoized trace prefix (ProjHits) vs. replayed from the
 	// base state (ProjMisses), and the total projected entries skipped.
@@ -293,6 +347,27 @@ type Synthesizer struct {
 	runSymClasses   int
 	runOrbitHits    int64
 	runVisitedBytes uint64
+	// Per-run SAT exchange/conflict stats, same pattern: the solver
+	// backend counts lifetime totals (Enumerate reuses it across runs),
+	// so Synthesize snapshots baselines at entry and reports deltas,
+	// Add-ing (never Set-ing) them into the registry. This is what lets
+	// several portfolios — cube workers, sweep rows — share one process
+	// without double-counting or overwriting each other.
+	baseConfl, baseExported, baseImported       int64
+	baseBusExported, baseBusImported            int64
+	baseProjHits, baseProjMisses, baseProjSaved int64
+	runSATConfl, runSATExported, runSATImported int64
+	runBusExported, runBusImported              int64
+	runProjHits, runProjMisses, runProjSaved    int64
+	runSATVars, runSATClauses                   int
+
+	// Cube mode: the assumption literals of Options.Cube (translated to
+	// solver literals by New), the number of SAT variables the setup
+	// encoding allocated (the cross-cube shared prefix), and the
+	// TraceBus fetch cursor.
+	cubeAssume  []sat.Lit
+	setupVars   int
+	traceCursor int
 }
 
 // counters caches the registry handles the loop bumps. Durations are
@@ -309,6 +384,8 @@ type counters struct {
 	heapMax                                *obs.Counter
 	satVars, satClauses, satConfl          *obs.Counter
 	satExported, satImported               *obs.Counter
+	satBusExported, satBusImported         *obs.Counter
+	remoteTraces, prunedRemote             *obs.Counter
 	projHits, projMisses, projSaved        *obs.Counter
 
 	proofLemmas, proofChecked, proofCore, proofCheckNS *obs.Counter
@@ -337,6 +414,10 @@ func newCounters(m *obs.Metrics) counters {
 		satConfl:       m.Counter("sat.conflicts"),
 		satExported:    m.Counter("sat.exported"),
 		satImported:    m.Counter("sat.imported"),
+		satBusExported: m.Counter("sat.bus_exported"),
+		satBusImported: m.Counter("sat.bus_imported"),
+		remoteTraces:   m.Counter("cube.remote_traces"),
+		prunedRemote:   m.Counter("cube.pruned_by_remote"),
 		projHits:       m.Counter("proj.hits"),
 		projMisses:     m.Counter("proj.misses"),
 		projSaved:      m.Counter("proj.saved_entries"),
@@ -356,9 +437,6 @@ func (s *Synthesizer) statsView() Stats {
 		VSolve:       time.Duration(s.ct.vsolveNS.Get()),
 		VModel:       time.Duration(s.ct.vmodelNS.Get()),
 		Total:        time.Duration(s.ct.totalNS.Get()),
-		SATVars:      int(s.ct.satVars.Get()),
-		SATClauses:   int(s.ct.satClauses.Get()),
-		SATConfl:     s.ct.satConfl.Get(),
 		MCStates:     int(s.ct.mcStates.Get()),
 		MCTrans:      int(s.ct.mcTrans.Get()),
 		MaxHeap:      uint64(s.ct.heapMax.Get()),
@@ -366,16 +444,23 @@ func (s *Synthesizer) statsView() Stats {
 		SpecSolves:   int(s.ct.specSolves.Get()),
 		SpecHits:     int(s.ct.specHits.Get()),
 		SpecSolve:    time.Duration(s.ct.specNS.Get()),
-		SATExported:  s.ct.satExported.Get(),
-		SATImported:  s.ct.satImported.Get(),
-		ProjHits:     s.ct.projHits.Get(),
-		ProjMisses:   s.ct.projMisses.Get(),
-		ProjSaved:    s.ct.projSaved.Get(),
 		ProofLemmas:  int(s.ct.proofLemmas.Get()),
 		ProofChecked: int(s.ct.proofChecked.Get()),
 		ProofCore:    int(s.ct.proofCore.Get()),
 		ProofCheck:   time.Duration(s.ct.proofCheckNS.Get()),
 	}
+	// Per-run values (see the field comments): the registry counters of
+	// the same names accumulate across runs sharing one Metrics.
+	st.SATVars = s.runSATVars
+	st.SATClauses = s.runSATClauses
+	st.SATConfl = s.runSATConfl
+	st.SATExported = s.runSATExported
+	st.SATImported = s.runSATImported
+	st.SATBusExported = s.runBusExported
+	st.SATBusImported = s.runBusImported
+	st.ProjHits = s.runProjHits
+	st.ProjMisses = s.runProjMisses
+	st.ProjSaved = s.runProjSaved
 	s.statsMu.Lock()
 	st.MCSymClasses = s.runSymClasses
 	st.MCOrbitHits = s.runOrbitHits
@@ -397,7 +482,8 @@ func b2i(b bool) int64 {
 // both the plain sat.Solver and the racing sat.Portfolio satisfy it.
 type satSolver interface {
 	sat.Adder
-	SetProof(*drat.Recorder)
+	SetProof(drat.Sink)
+	SetBus(*sat.Bus, int)
 	SetTracer(*obs.Tracer)
 	SetSpanParent(obs.SpanID)
 	Solve(assumptions ...sat.Lit) bool
@@ -434,9 +520,13 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 
 	t0 := time.Now()
 	sp := s.tr.Start("setup.lower", opts.TraceParent)
-	prog, err := ir.Lower(sk)
-	if err != nil {
-		return nil, err
+	prog := opts.Prog
+	if prog == nil {
+		var err error
+		prog, err = ir.Lower(sk)
+		if err != nil {
+			return nil, err
+		}
 	}
 	layout, err := state.NewLayout(prog)
 	if err != nil {
@@ -453,11 +543,19 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	s.holes = sym.HoleInputs(s.b, sk)
 	s.solver = newSolver(opts.Parallelism, opts.NoShareClauses)
 	s.solver.SetTracer(opts.Trace)
-	if opts.Proof {
+	if opts.ProofSink != nil {
+		// Cube mode: log into the external (shared, namespaced) sink.
+		// The sink's owner certifies the merged verdict, so s.proof
+		// stays nil and this synthesizer never self-certifies.
+		s.solver.SetProof(opts.ProofSink)
+	} else if opts.Proof {
 		// Attach before the first AddClause: the recorder must see
 		// every problem clause or later replays cannot close.
 		s.proof = drat.NewRecorder()
 		s.solver.SetProof(s.proof)
+	}
+	if opts.ClauseBus != nil {
+		s.solver.SetBus(opts.ClauseBus, opts.CubeID)
 	}
 	s.vmap = circuit.NewVarMap()
 	s.holeVars = make([][]int, len(sk.Holes))
@@ -498,6 +596,18 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	d = time.Since(t0)
 	s.ct.smodelNS.Add(int64(d))
 	sp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseSModel))
+	// The setup encoding is deterministic given (sketch, desugar
+	// options): every cube worker of one split allocates the identical
+	// variable prefix up to this point, which is what makes the clause
+	// bus filter and the DRAT namespace boundary sound. internal/cube
+	// cross-checks this count across workers.
+	s.setupVars = s.solver.NumVars()
+	for _, cl := range opts.Cube {
+		if cl.Hole < 0 || cl.Hole >= len(s.holeVars) || cl.Bit < 0 || cl.Bit >= len(s.holeVars[cl.Hole]) {
+			return nil, fmt.Errorf("core: cube literal out of range: hole %d bit %d", cl.Hole, cl.Bit)
+		}
+		s.cubeAssume = append(s.cubeAssume, sat.MkLit(s.holeVars[cl.Hole][cl.Bit], !cl.Val))
+	}
 	if opts.WatchCandidate != nil {
 		var assume []sat.Lit
 		for i, vars := range s.holeVars {
@@ -563,6 +673,32 @@ func (s *Synthesizer) canceled() bool {
 	return s.opts.Cancel != nil && s.opts.Cancel.Load()
 }
 
+// SetupVars returns the number of SAT variables the setup encoding
+// allocated: the variable prefix every synthesizer of the same sketch
+// and desugar options shares before per-iteration Tseitin allocations
+// diverge. internal/cube keys the clause bus and the DRAT namespace
+// boundary on it.
+func (s *Synthesizer) SetupVars() int { return s.setupVars }
+
+// HoleDimacs returns the positive DIMACS index of hole h's bit b in
+// the shared setup prefix (internal/cube derives the cube-refutation
+// clauses of the merged certificate from these).
+func (s *Synthesizer) HoleDimacs(h, b int) int { return s.holeVars[h][b] + 1 }
+
+// cubeDimacs returns the cube assumptions in DIMACS form (nil outside
+// cube mode) — the assumption set a standalone exhaustion certificate
+// is conditional on.
+func (s *Synthesizer) cubeDimacs() []int {
+	if len(s.cubeAssume) == 0 {
+		return nil
+	}
+	out := make([]int, len(s.cubeAssume))
+	for i, l := range s.cubeAssume {
+		out[i] = sat.Dimacs(l)
+	}
+	return out
+}
+
 // extractCandidate reads the hole assignment out of the solver's model.
 // The caller must own the solver (no concurrent solve in flight).
 func (s *Synthesizer) extractCandidate() desugar.Candidate {
@@ -588,7 +724,7 @@ func (s *Synthesizer) nextCandidate(parent obs.SpanID) (desugar.Candidate, bool,
 		s.solver.SetSpanParent(sp.ID())
 	}
 	t0 := time.Now()
-	okSat, canceled := s.solver.SolveCancel(s.opts.Cancel)
+	okSat, canceled := s.solver.SolveCancel(s.opts.Cancel, s.cubeAssume...)
 	d := time.Since(t0)
 	s.ct.ssolveNS.Add(int64(d))
 	sp.EndDur(d, obs.Str(obs.AttrPhase, obs.PhaseSSolve), obs.Int("sat", b2i(okSat)))
@@ -605,6 +741,29 @@ func (s *Synthesizer) nextCandidate(parent obs.SpanID) (desugar.Candidate, bool,
 func (s *Synthesizer) Synthesize() (*Result, error) {
 	start := time.Now()
 	s.runSpan = s.tr.Start("cegis.synthesize", s.opts.TraceParent)
+	// Snapshot the solver backend's lifetime totals so the end-of-run
+	// fold can report this run's deltas (Enumerate reuses the solver
+	// across runs; cube workers share the projection cache's builder
+	// lifetime with nobody, but the same bookkeeping keeps all paths
+	// uniform).
+	s.baseConfl = s.solver.Conflicts()
+	s.baseExported, s.baseImported, s.baseBusExported, s.baseBusImported = 0, 0, 0, 0
+	if p, ok := s.solver.(*sat.Portfolio); ok {
+		for _, w := range p.WorkerStats() {
+			s.baseExported += w.Exported
+			s.baseImported += w.Imported
+			s.baseBusExported += w.BusExported
+			s.baseBusImported += w.BusImported
+		}
+	} else if p, ok := s.solver.(*sat.Solver); ok {
+		s.baseExported, s.baseImported = p.Stats.Exported, p.Stats.Imported
+		s.baseBusExported, s.baseBusImported = p.Stats.BusExported, p.Stats.BusImported
+	}
+	if c := s.projCache; c != nil {
+		s.baseProjHits, s.baseProjMisses, s.baseProjSaved = c.Hits, c.Misses, c.SavedEntries
+	} else {
+		s.baseProjHits, s.baseProjMisses, s.baseProjSaved = 0, 0, 0
+	}
 	var res *Result
 	var err error
 	if s.Prog.Concurrent() {
@@ -621,28 +780,48 @@ func (s *Synthesizer) Synthesize() (*Result, error) {
 		return nil, err
 	}
 	// All worker goroutines are joined by now, so the solver and the
-	// projection cache are quiescent; fold their end-of-run totals into
-	// the registry (Set, not Add: these are absolute snapshots).
-	s.ct.satVars.Set(int64(s.solver.NumVars()))
-	s.ct.satClauses.Set(int64(s.solver.NumClauses()))
-	s.ct.satConfl.Set(s.solver.Conflicts())
+	// projection cache are quiescent; fold this run's deltas into the
+	// registry. Everything summable is Add-ed (a registry shared by
+	// several synthesizers — cube workers, a sweep — accumulates) and
+	// sizes are Max-ed (monotone high-water): no Set, so concurrent or
+	// repeated runs never overwrite each other.
+	s.runSATVars = s.solver.NumVars()
+	s.runSATClauses = s.solver.NumClauses()
+	s.runSATConfl = s.solver.Conflicts() - s.baseConfl
+	s.ct.satVars.Max(int64(s.runSATVars))
+	s.ct.satClauses.Max(int64(s.runSATClauses))
+	s.ct.satConfl.Add(s.runSATConfl)
+	var exp, imp, bexp, bimp int64
 	if p, ok := s.solver.(*sat.Portfolio); ok {
 		ws := p.WorkerStats()
-		var exp, imp int64
 		for _, w := range ws {
 			exp += w.Exported
 			imp += w.Imported
+			bexp += w.BusExported
+			bimp += w.BusImported
 		}
-		s.ct.satExported.Set(exp)
-		s.ct.satImported.Set(imp)
 		s.statsMu.Lock()
 		s.satWorkers = ws
 		s.statsMu.Unlock()
+	} else if p, ok := s.solver.(*sat.Solver); ok {
+		exp, imp = p.Stats.Exported, p.Stats.Imported
+		bexp, bimp = p.Stats.BusExported, p.Stats.BusImported
 	}
+	s.runSATExported = exp - s.baseExported
+	s.runSATImported = imp - s.baseImported
+	s.runBusExported = bexp - s.baseBusExported
+	s.runBusImported = bimp - s.baseBusImported
+	s.ct.satExported.Add(s.runSATExported)
+	s.ct.satImported.Add(s.runSATImported)
+	s.ct.satBusExported.Add(s.runBusExported)
+	s.ct.satBusImported.Add(s.runBusImported)
 	if c := s.projCache; c != nil {
-		s.ct.projHits.Set(c.Hits)
-		s.ct.projMisses.Set(c.Misses)
-		s.ct.projSaved.Set(c.SavedEntries)
+		s.runProjHits = c.Hits - s.baseProjHits
+		s.runProjMisses = c.Misses - s.baseProjMisses
+		s.runProjSaved = c.SavedEntries - s.baseProjSaved
+		s.ct.projHits.Add(s.runProjHits)
+		s.ct.projMisses.Add(s.runProjMisses)
+		s.ct.projSaved.Add(s.runProjSaved)
 	}
 	s.sampleHeap()
 	total := time.Since(start)
@@ -690,9 +869,10 @@ func (s *Synthesizer) startSpec(cand desugar.Candidate, parent obs.SpanID) (<-ch
 	}
 	cancel := &atomic.Bool{}
 	ch := make(chan specResult, 1)
+	assume := append([]sat.Lit{sat.MkLit(s.specAct, false)}, s.cubeAssume...)
 	go func() {
 		t0 := time.Now()
-		ok, canceled := s.solver.SolveCancel(cancel, sat.MkLit(s.specAct, false))
+		ok, canceled := s.solver.SolveCancel(cancel, assume...)
 		dur := time.Since(t0)
 		r := specResult{canceled: canceled}
 		if !canceled && ok {
@@ -745,6 +925,18 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 					obs.Int("traces", int64(traces)))
 			}
 		}
+		// Adopt other cubes' counterexamples before solving: a trace
+		// found in cube 3 prunes this cube's space before it ever
+		// solves (and may refute the candidate held over from the
+		// pipeline, forcing a fresh solve against the tightened space).
+		if s.opts.TraceBus != nil {
+			alive, err := s.importRemoteTraces(isp.ID(), cand, haveCand)
+			if err != nil {
+				endIter("error", 0, 0)
+				return nil, err
+			}
+			haveCand = alive
+		}
 		if !haveCand {
 			c, ok, err := s.nextCandidate(isp.ID())
 			if err != nil {
@@ -753,7 +945,7 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 			}
 			if !ok {
 				s.opts.Verbose("iteration %d: candidate space exhausted (UNSAT) — sketch cannot be resolved", iter)
-				cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+				cert, cerr := s.certifyUNSAT(s.proof, s.cubeDimacs(), "candidate-space exhaustion")
 				endIter("exhausted", 0, 0)
 				if cerr != nil {
 					return nil, cerr
@@ -866,6 +1058,11 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 				return nil, err
 			}
 			s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, failLit.Not()))
+			// A projection is a whole-space fact: broadcast it so every
+			// other cube installs it too.
+			if s.opts.TraceBus != nil {
+				s.opts.TraceBus.Publish(s.opts.CubeID, entries)
+			}
 			if s.b.Eval(candAsn, failLit) {
 				refuted = true
 			}
@@ -914,6 +1111,55 @@ func (s *Synthesizer) synthesizeConcurrent() (*Result, error) {
 	return nil, fmt.Errorf("core: no convergence after %d iterations", s.opts.MaxIterations)
 }
 
+// importRemoteTraces adopts every projection other cubes published on
+// the TraceBus since the last import and installs each as a constraint
+// — the exchange re-encodes the ENTRIES through this cube's own
+// projection cache rather than shipping CNF, because Tseitin variable
+// numbering above the setup prefix diverges per cube. Entries are
+// whole-space facts (see internal/project), so installing them in any
+// cube is sound; the encoding goes through AddClause and is therefore
+// logged as a DRAT premise exactly like a locally discovered
+// projection. Returns whether the currently held candidate (if any)
+// survived the imported constraints. The caller must own the solver.
+func (s *Synthesizer) importRemoteTraces(parent obs.SpanID, cand desugar.Candidate, haveCand bool) (bool, error) {
+	batches, next := s.opts.TraceBus.Fetch(s.traceCursor, s.opts.CubeID)
+	s.traceCursor = next
+	if len(batches) == 0 {
+		return haveCand, nil
+	}
+	sp := s.tr.Start("cube.import", parent)
+	t0 := time.Now()
+	alive := haveCand
+	var candAsn map[circuit.Lit]bool
+	if haveCand {
+		candAsn = s.inputAssignment(cand)
+	}
+	pruned := false
+	for _, b := range batches {
+		failLit, err := s.projCache.Encode(b.Entries)
+		if err != nil {
+			return false, err
+		}
+		s.solver.AddClause(s.b.ToSAT(s.solver, s.vmap, failLit.Not()))
+		if alive && s.b.Eval(candAsn, failLit) {
+			alive = false
+			pruned = true
+		}
+	}
+	s.ct.remoteTraces.Add(int64(len(batches)))
+	if pruned {
+		s.ct.prunedRemote.Add(1)
+	}
+	d := time.Since(t0)
+	s.ct.smodelNS.Add(int64(d))
+	sp.EndDur(d,
+		obs.Str(obs.AttrPhase, obs.PhaseSModel),
+		obs.Int("cube.id", int64(s.opts.CubeID)),
+		obs.Int("traces", int64(len(batches))),
+		obs.Int("pruned", b2i(pruned)))
+	return alive, nil
+}
+
 // inputAssignment maps the builder's hole input literals to the bits of
 // a concrete candidate.
 func (s *Synthesizer) inputAssignment(cand desugar.Candidate) map[circuit.Lit]bool {
@@ -959,7 +1205,7 @@ func (s *Synthesizer) synthesizeSequential() (*Result, error) {
 			return nil, err
 		}
 		if !ok {
-			cert, cerr := s.certifyUNSAT(s.proof, nil, "candidate-space exhaustion")
+			cert, cerr := s.certifyUNSAT(s.proof, s.cubeDimacs(), "candidate-space exhaustion")
 			endIter("exhausted")
 			if cerr != nil {
 				return nil, cerr

@@ -1,0 +1,80 @@
+package cube
+
+import (
+	"reflect"
+	"testing"
+
+	"psketch/internal/desugar"
+)
+
+// Split picks the largest power-of-two cube count ≤ want, prefers
+// high-fanout holes, and round-robins bit positions LSB-first so no
+// single hole's low bits dominate the partition.
+func TestSplitSelection(t *testing.T) {
+	holes := []desugar.HoleMeta{
+		{ID: 0, Kind: desugar.HoleInt, Bits: 1},                // fanout 2
+		{ID: 1, Kind: desugar.HoleChoice, Bits: 3, Choices: 6}, // fanout 6
+		{ID: 2, Kind: desugar.HoleInt, Bits: 4},                // fanout 16
+	}
+	// want=8 → k=3 bits. Fanout order: hole 2 (16), hole 1 (6),
+	// hole 0 (2); level-0 bits of each, round-robin.
+	want := []BitRef{{Hole: 2, Bit: 0}, {Hole: 1, Bit: 0}, {Hole: 0, Bit: 0}}
+	if got := Split(holes, 8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Split(8) = %v, want %v", got, want)
+	}
+	// want=16 → k=4: the fourth bit comes from the second level of the
+	// highest-fanout hole (hole 0 has only one bit).
+	want = append(want, BitRef{Hole: 2, Bit: 1})
+	if got := Split(holes, 16); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Split(16) = %v, want %v", got, want)
+	}
+	// Non-power-of-two want rounds down: 7 → k=2.
+	if got := Split(holes, 7); len(got) != 2 {
+		t.Fatalf("Split(7) picked %d bits, want 2", len(got))
+	}
+	// Deterministic across calls.
+	if !reflect.DeepEqual(Split(holes, 16), Split(holes, 16)) {
+		t.Fatal("Split not deterministic")
+	}
+}
+
+// Degenerate inputs: nothing to split on, or nothing asked for.
+func TestSplitDegenerate(t *testing.T) {
+	if got := Split(nil, 8); got != nil {
+		t.Fatalf("no holes: %v", got)
+	}
+	if got := Split([]desugar.HoleMeta{{ID: 0, Bits: 3}}, 1); got != nil {
+		t.Fatalf("want=1 must not split: %v", got)
+	}
+	// A 0-bit hole and a fanout-1 choice are unusable.
+	holes := []desugar.HoleMeta{
+		{ID: 0, Kind: desugar.HoleChoice, Bits: 1, Choices: 1},
+		{ID: 1, Kind: desugar.HoleInt, Bits: 0},
+	}
+	if got := Split(holes, 4); got != nil {
+		t.Fatalf("unusable holes produced bits: %v", got)
+	}
+	// Asking for more cubes than the space has bits caps at the
+	// available bits instead of inventing refs.
+	one := []desugar.HoleMeta{{ID: 0, Kind: desugar.HoleInt, Bits: 1}}
+	if got := Split(one, 8); len(got) != 1 {
+		t.Fatalf("1-bit space split into %d bits", len(got))
+	}
+}
+
+// Assign maps cube index bits onto bit-ref polarities: bit j of the
+// index is the value of bits[j] — the same convention CubeClause
+// negates, which is what makes the merged proof line up.
+func TestAssignPolarity(t *testing.T) {
+	bits := []BitRef{{Hole: 2, Bit: 0}, {Hole: 1, Bit: 3}}
+	got := Assign(bits, 2) // binary 10: bits[0]=false, bits[1]=true
+	if len(got) != 2 {
+		t.Fatalf("got %d lits", len(got))
+	}
+	if got[0].Hole != 2 || got[0].Bit != 0 || got[0].Val {
+		t.Fatalf("lit 0: %+v", got[0])
+	}
+	if got[1].Hole != 1 || got[1].Bit != 3 || !got[1].Val {
+		t.Fatalf("lit 1: %+v", got[1])
+	}
+}

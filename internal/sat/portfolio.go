@@ -17,6 +17,8 @@ type WorkerStats struct {
 	Restarts     int64
 	Exported     int64 // learnt clauses published to the shared pool
 	Imported     int64 // shared clauses adopted from other workers
+	BusExported  int64 // learnt clauses relayed to the cross-cube bus
+	BusImported  int64 // bus clauses adopted from other cubes
 }
 
 // Portfolio races N diversified CDCL solvers on the same formula.
@@ -98,19 +100,30 @@ func (p *Portfolio) SetSharing(on bool) {
 // Sharing reports whether the learned-clause pool is active.
 func (p *Portfolio) Sharing() bool { return p.pool != nil }
 
-// SetProof attaches one DRAT proof recorder to every worker. The
-// recorder's mutex linearizes the workers' learnt clauses into a single
-// merged derivation; only worker 0 logs problem clauses (AddClause
-// broadcasts the identical stream to every worker, so one copy
-// suffices), and the recorder drops per-worker deletions once more than
-// one solver is attached. Call before adding clauses.
-func (p *Portfolio) SetProof(r *drat.Recorder) {
+// SetProof attaches one DRAT proof sink to every worker. The
+// underlying recorder's mutex linearizes the workers' learnt clauses
+// into a single merged derivation; only worker 0 logs problem clauses
+// (AddClause broadcasts the identical stream to every worker, so one
+// copy suffices), and the recorder drops per-worker deletions once more
+// than one solver is attached. Call before adding clauses.
+func (p *Portfolio) SetProof(r drat.Sink) {
 	for i, w := range p.ws {
 		w.proof = r
 		w.proofPremises = i == 0
 		if r != nil {
 			r.Attach()
 		}
+	}
+}
+
+// SetBus connects every worker to the cross-cube clause bus as members
+// of cube id: each worker exports its own prefix-only learnt clauses
+// and imports other cubes' at restart boundaries, while skipping
+// clauses its own cube published (intra-cube exchange stays the shared
+// pool's job). Call between Solve calls only.
+func (p *Portfolio) SetBus(b *Bus, id int) {
+	for _, w := range p.ws {
+		w.SetBus(b, id)
 	}
 }
 
@@ -262,6 +275,8 @@ func (p *Portfolio) WorkerStats() []WorkerStats {
 			Restarts:     w.Stats.Restarts,
 			Exported:     w.Stats.Exported,
 			Imported:     w.Stats.Imported,
+			BusExported:  w.Stats.BusExported,
+			BusImported:  w.Stats.BusImported,
 		}
 	}
 	return out

@@ -235,3 +235,135 @@ func BenchmarkPortfolioAddClauses(b *testing.B) {
 		}
 	})
 }
+
+// White-box boundary check of the export quality gates: a clause of
+// exactly shareMaxLen literals or exactly shareMaxLBD distinct levels
+// is exported; one past either cap is not.
+func TestExportLearntBoundaries(t *testing.T) {
+	mk := func() *Solver {
+		s := New()
+		for i := 0; i < 16; i++ {
+			s.NewVar()
+		}
+		s.shared, s.sharedID = &sharedPool{}, 0
+		return s
+	}
+	clause := func(n int) []Lit {
+		lits := make([]Lit, n)
+		for i := range lits {
+			lits[i] = MkLit(i, false)
+		}
+		return lits
+	}
+
+	// Length gate. All vars unassigned → one decision level → LBD 1,
+	// so only the length cap is in play.
+	s := mk()
+	s.exportLearnt(clause(shareMaxLen))
+	if s.Stats.Exported != 1 || s.shared.published() != 1 {
+		t.Fatalf("len=%d clause must export: Exported=%d", shareMaxLen, s.Stats.Exported)
+	}
+	s.exportLearnt(clause(shareMaxLen + 1))
+	if s.Stats.Exported != 1 || s.shared.published() != 1 {
+		t.Fatalf("len=%d clause must not export: Exported=%d", shareMaxLen+1, s.Stats.Exported)
+	}
+
+	// LBD gate: spread a short clause's vars over controlled decision
+	// levels. shareMaxLBD distinct levels pass, one more is refused.
+	s = mk()
+	lits := clause(shareMaxLBD + 1)
+	for i, l := range lits {
+		s.level[l.Var()] = int32(i) // levels 0..shareMaxLBD → LBD = shareMaxLBD+1
+	}
+	if got := s.lbd(lits); got != shareMaxLBD+1 {
+		t.Fatalf("lbd=%d, want %d", got, shareMaxLBD+1)
+	}
+	s.exportLearnt(lits)
+	if s.Stats.Exported != 0 {
+		t.Fatalf("LBD=%d clause must not export", shareMaxLBD+1)
+	}
+	s.level[lits[len(lits)-1].Var()] = 0 // merge one level → LBD = shareMaxLBD
+	if got := s.lbd(lits); got != shareMaxLBD {
+		t.Fatalf("lbd=%d, want %d", got, shareMaxLBD)
+	}
+	s.exportLearnt(lits)
+	if s.Stats.Exported != 1 {
+		t.Fatalf("LBD=%d clause must export", shareMaxLBD)
+	}
+}
+
+// The cross-cube bus must refuse any clause mentioning a variable at
+// or beyond the shared-prefix boundary, and count only relayed ones.
+func TestBusPrefixFilter(t *testing.T) {
+	b := NewBus(3) // shared prefix: vars 0,1,2
+	if !b.Publish(0, []Lit{MkLit(0, false), MkLit(2, true)}) {
+		t.Fatal("in-prefix clause refused")
+	}
+	if b.Publish(0, []Lit{MkLit(0, false), MkLit(3, true)}) {
+		t.Fatal("clause with var 3 must be refused at maxVar=3")
+	}
+	if b.Published() != 1 {
+		t.Fatalf("Published=%d, want 1", b.Published())
+	}
+	if b.MaxVar() != 3 {
+		t.Fatalf("MaxVar=%d, want 3", b.MaxVar())
+	}
+	// Fetch skips the caller's own cube but serves others.
+	if got, _ := b.Fetch(0, 0); len(got) != 0 {
+		t.Fatalf("origin cube re-fetched its own clause: %v", got)
+	}
+	got, cur := b.Fetch(0, 1)
+	if len(got) != 1 || cur != 1 {
+		t.Fatalf("other cube should fetch 1 clause, got %d cur=%d", len(got), cur)
+	}
+
+	// A solver wired to the bus applies the same filter at export time:
+	// the pool takes the clause, the bus refuses it.
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.NewVar()
+	}
+	s.shared, s.sharedID = &sharedPool{}, 0
+	s.bus, s.busID = NewBus(2), 5
+	s.exportLearnt([]Lit{MkLit(0, false), MkLit(4, true)})
+	if s.Stats.Exported != 1 {
+		t.Fatalf("pool export missing: %d", s.Stats.Exported)
+	}
+	if s.Stats.BusExported != 0 || s.bus.Published() != 0 {
+		t.Fatal("bus must refuse out-of-prefix clause")
+	}
+	s.exportLearnt([]Lit{MkLit(0, false), MkLit(1, true)})
+	if s.Stats.BusExported != 1 || s.bus.Published() != 1 {
+		t.Fatalf("in-prefix clause not relayed: BusExported=%d", s.Stats.BusExported)
+	}
+}
+
+// FetchTagged preserves producer origins (the multi-process relay
+// depends on them to avoid echoing clauses back) and clamps a stale
+// cursor to the surviving ring just like fetch.
+func TestBusFetchTagged(t *testing.T) {
+	b := NewBus(8)
+	b.Publish(2, []Lit{MkLit(0, false)})
+	b.Publish(7, []Lit{MkLit(1, true)})
+	got, cur := b.FetchTagged(0)
+	if len(got) != 2 || cur != 2 {
+		t.Fatalf("got %d clauses cur=%d, want 2/2", len(got), cur)
+	}
+	if got[0].Origin != 2 || got[1].Origin != 7 {
+		t.Fatalf("origins %d,%d, want 2,7", got[0].Origin, got[1].Origin)
+	}
+	if got[1].Lits[0] != MkLit(1, true) {
+		t.Fatalf("lits not preserved: %v", got[1].Lits)
+	}
+	// Overflow: a consumer more than shareCap behind sees only the ring.
+	for i := 0; i < shareCap+10; i++ {
+		b.Publish(1, []Lit{MkLit(i%8, false)})
+	}
+	got, cur = b.FetchTagged(0)
+	if len(got) != shareCap {
+		t.Fatalf("stale FetchTagged returned %d, want %d", len(got), shareCap)
+	}
+	if cur != uint64(2+shareCap+10) {
+		t.Fatalf("cursor=%d, want %d", cur, 2+shareCap+10)
+	}
+}

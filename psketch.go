@@ -24,9 +24,11 @@ package psketch
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"sync/atomic"
 
 	"psketch/internal/core"
+	"psketch/internal/cube"
 	"psketch/internal/desugar"
 	"psketch/internal/drat"
 	"psketch/internal/ir"
@@ -88,8 +90,23 @@ type Options struct {
 	// concurrent CEGIS engine (on by default at Parallelism > 1).
 	NoPipeline bool
 	// NoShareClauses disables learned-clause exchange between the SAT
-	// portfolio's workers (on by default at Parallelism > 1).
+	// portfolio's workers (on by default at Parallelism > 1) and, under
+	// Cubes > 1, between cubes.
 	NoShareClauses bool
+	// Cubes > 1 switches Synthesize to cube-and-conquer CEGIS: the
+	// candidate space is split on high-fanout hole bits into that many
+	// disjoint cubes (rounded down to a power of two), independent
+	// engines race them, the first verified completion cancels the
+	// rest, and per-cube exhaustions merge into a whole-space NO (one
+	// merged DRAT certificate under Proof). Parallelism is divided
+	// among the cubes: each engine runs with max(1,
+	// Parallelism/Cubes)-way inner parallelism. 0 and 1 run the
+	// ordinary single-engine loop, bit-for-bit unchanged.
+	Cubes int
+	// CubeWorkers bounds how many cube engines run concurrently under
+	// Cubes > 1 (default 0 = one per cube); finished workers steal
+	// unstarted cubes from the queue.
+	CubeWorkers int
 	// Proof enables DRAT proof logging in the SAT backends and replays
 	// every committed UNSAT verdict through the internal/drat backward
 	// checker, so a "cannot be resolved" answer carries a verified
@@ -201,12 +218,24 @@ type Result struct {
 	// Certificate, under Options.Proof, is the verified DRAT
 	// certificate backing the run's final UNSAT verdict (candidate-
 	// space exhaustion, or the sequential verifier's final check). Nil
-	// when proof logging is off or no SAT verdict closed the run.
+	// when proof logging is off or no SAT verdict closed the run. For
+	// cube runs this is the MERGED whole-space certificate.
 	Certificate *drat.Certificate
+	// Cube reports the per-cube breakdown of a cube-and-conquer run
+	// (Options.Cubes > 1); nil otherwise.
+	Cube *cube.Result
 }
 
-// Synthesize runs CEGIS on a compiled sketch.
+// Synthesize runs CEGIS on a compiled sketch (cube-and-conquer when
+// Options.Cubes > 1).
 func (s *Sketch) Synthesize() (*Result, error) {
+	if s.opts.Cubes > 1 {
+		r, err := cube.Synthesize(s.sk, s.cubeOpts())
+		if err != nil {
+			return nil, err
+		}
+		return s.cubeResult(r)
+	}
 	syn, err := core.New(s.sk, s.coreOpts())
 	if err != nil {
 		return nil, err
@@ -216,6 +245,46 @@ func (s *Sketch) Synthesize() (*Result, error) {
 		return nil, err
 	}
 	out := &Result{Resolved: r.Resolved, Candidate: r.Candidate, Stats: r.Stats, Certificate: r.Certificate}
+	if r.Resolved {
+		code, err := printer.Program(s.sk, r.Candidate)
+		if err != nil {
+			return nil, err
+		}
+		out.Code = code
+	}
+	return out, nil
+}
+
+// cubeOpts derives the cube coordinator options: proof moves from the
+// per-cube engines to the coordinator's merged recorder, and the
+// requested parallelism is divided among the cubes.
+func (s *Sketch) cubeOpts() cube.Options {
+	copts := s.coreOpts()
+	copts.Proof = false
+	total := copts.Parallelism
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	cubes := 2
+	for cubes*2 <= s.opts.Cubes {
+		cubes *= 2
+	}
+	copts.Parallelism = total / cubes
+	if copts.Parallelism < 1 {
+		copts.Parallelism = 1
+	}
+	return cube.Options{
+		Cubes:   s.opts.Cubes,
+		Workers: s.opts.CubeWorkers,
+		Proof:   s.opts.Proof,
+		Core:    copts,
+	}
+}
+
+// cubeResult maps a merged cube outcome onto the public Result.
+func (s *Sketch) cubeResult(r *cube.Result) (*Result, error) {
+	out := &Result{Resolved: r.Resolved, Candidate: r.Candidate, Stats: r.Stats,
+		Certificate: r.Certificate, Cube: r}
 	if r.Resolved {
 		code, err := printer.Program(s.sk, r.Candidate)
 		if err != nil {
@@ -300,6 +369,36 @@ func DetectTarget(src string) (string, error) {
 		return targets[0], nil
 	}
 	return "", fmt.Errorf("psketch: multiple synthesis targets (%v); pick one with -target", targets)
+}
+
+// ServeCubes runs the coordinator side of a multi-process
+// cube-and-conquer synthesis: it splits the sketch's candidate space
+// into Options.Cubes cubes, listens on addr (localhost JSON-line
+// protocol, see internal/cube), dispatches cubes to joining psketch
+// -join processes alongside localWorkers in-process engines, and
+// returns the merged verdict. Under Options.Proof a NO verdict carries
+// the merged, replayed DRAT certificate.
+func ServeCubes(addr, src, target string, localWorkers int, opts Options) (*Result, error) {
+	sk, err := Compile(src, target, opts)
+	if err != nil {
+		return nil, err
+	}
+	copts := sk.cubeOpts()
+	copts.Workers = localWorkers
+	r, err := cube.Serve(addr, cube.RemoteOptions{
+		Src: src, Target: target, Desugar: opts.desugarOpts(),
+	}, copts, opts.Verbose)
+	if err != nil {
+		return nil, err
+	}
+	return sk.cubeResult(r)
+}
+
+// JoinCubes connects to a ServeCubes coordinator at addr and runs
+// cubes it is handed until the coordinator releases it. The sketch
+// arrives over the wire; nothing is configured locally.
+func JoinCubes(addr string, verbose func(format string, args ...any)) error {
+	return cube.Join(addr, verbose)
 }
 
 // Enumerate returns up to max distinct correct completions of the
