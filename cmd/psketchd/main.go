@@ -1,0 +1,137 @@
+// Command psketchd serves sketch synthesis over HTTP — the
+// synthesis-as-a-service front of the psketch engine:
+//
+//	psketchd [flags]
+//
+// Clients POST sketch sources to /v1/jobs and get back a job ID; jobs
+// run on a bounded worker pool fed by a batched intake queue, so a
+// burst of submissions degrades into 429 + Retry-After instead of
+// unbounded latency. Per-iteration CEGIS progress streams from
+// /v1/jobs/{id}/events as NDJSON; the final verdict (resolved code, or
+// a definitive NO with DRAT-certificate metadata under proof mode)
+// lands on /v1/jobs/{id}. Repeat submissions of one sketch start warm:
+// the hash-consed encoding context and projection-prefix cache persist
+// across requests in a size-bounded LRU store (watch warm.* on
+// /metrics; -no-warm-cache ablates it).
+//
+// A quickstart curl session lives in README.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"psketch/internal/obs"
+	"psketch/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:7333", "HTTP listen address (\":0\" picks a free port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (CI/scripts with -addr :0)")
+		workers   = flag.Int("workers", 2, "concurrent synthesis jobs (the fixed worker-array size)")
+		queue     = flag.Int("queue-depth", 64, "intake queue bound; submissions beyond it get 429")
+		batch     = flag.Int("batch", 8, "max jobs one worker pulls from the queue per critical section")
+		jobTime   = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget (requests may shorten, never extend)")
+		maxStates = flag.Int("max-states", 4_000_000, "per-job model-checker state budget cap")
+		maxIters  = flag.Int("max-iterations", 256, "per-job CEGIS iteration cap")
+		maxPar    = flag.Int("max-parallelism", runtime.GOMAXPROCS(0), "per-job engine parallelism cap")
+		noWarm    = flag.Bool("no-warm-cache", false, "disable the cross-request warm-state cache (ablation)")
+		warmMiB   = flag.Int64("warm-mib", 256, "warm-state cache bound, MiB of estimated retained memory")
+		journals  = flag.String("journal-dir", "", "write one JSONL journal per job into this directory (inspect with psktrace)")
+		drainTime = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before jobs are force-canceled")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and the raw server registry on this address")
+		verbose   = flag.Bool("v", false, "log job lifecycle to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: psketchd [flags] (no arguments; sketches arrive over HTTP)")
+		os.Exit(1)
+	}
+	if *journals != "" {
+		if err := os.MkdirAll(*journals, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "psketchd: "+format+"\n", args...)
+	}
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Batch:          *batch,
+		JobTimeout:     *jobTime,
+		MaxMCStates:    *maxStates,
+		MaxIterations:  *maxIters,
+		MaxParallelism: *maxPar,
+		NoWarmCache:    *noWarm,
+		WarmBytes:      *warmMiB << 20,
+		JournalDir:     *journals,
+	}
+	if *verbose {
+		cfg.Verbose = logf
+	}
+	srv := service.New(cfg)
+
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		d, err := obs.ServeDebug(*debugAddr, srv.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dbg = d
+		logf("debug endpoint on http://%s", d.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	logf("listening on http://%s (workers=%d queue=%d job-timeout=%v warm-cache=%v)",
+		ln.Addr(), *workers, *queue, *jobTime, !*noWarm)
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Graceful drain on SIGTERM/SIGINT: stop intake (503), let admitted
+	// jobs finish inside the drain budget, then force-cancel stragglers.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logf("%v: draining (budget %v)", sig, *drainTime)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		logf("drain budget exceeded; running jobs were canceled")
+	}
+	httpSrv.Shutdown(ctx)
+	if dbg != nil {
+		dbg.Shutdown(ctx)
+	}
+	logf("bye")
+}

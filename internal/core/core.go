@@ -156,6 +156,21 @@ type Options struct {
 	// across engines (alloc-site numbering), so concurrent workers must
 	// lower once, before the race starts, not once each.
 	Prog *ir.Program
+
+	// Warm, when set together with WarmKey, connects the synthesizer to
+	// a cross-request warm-state store (psketchd's cross-request cache):
+	// New tries to check out a previously built encoding context —
+	// hash-consed builder, hole inputs, projection cache with its
+	// memoized trace prefixes — for the same sketch, and Release returns
+	// the (possibly grown) context for the next run of that sketch. The
+	// checkout is exclusive, so concurrent jobs of one sketch never share
+	// a live context. Only concurrent sketches carry warm state (the
+	// sequential engine has no projection cache). The caller must
+	// guarantee WarmKey identifies the (source, target, desugar options)
+	// triple exactly — psketch.SketchHash does.
+	Warm *project.Store
+	// WarmKey is the sketch-hash key into Warm ("" disables).
+	WarmKey string
 }
 
 // CubeLit fixes one bit of one hole: bit Bit of hole Hole takes value
@@ -249,6 +264,11 @@ type Stats struct {
 	ProjHits   int64
 	ProjMisses int64
 	ProjSaved  int64
+	// WarmStart reports that the run checked its encoding context out of
+	// a cross-request warm store (Options.Warm) instead of building it
+	// cold — projection-cache hits then include prefixes memoized by
+	// earlier runs of the same sketch.
+	WarmStart bool
 	// DRAT certificate replay totals (Options.Proof only): lemmas the
 	// recorder held at certification time, lemmas the backward pass
 	// actually checked / found core, and the wall time Verify spent.
@@ -314,6 +334,11 @@ type Synthesizer struct {
 	// projCache memoizes projection encodings per trace prefix on b; it
 	// persists across iterations and Synthesize calls (Enumerate).
 	projCache *project.Cache
+
+	// warmStart records that b/holes/projCache came from Options.Warm;
+	// released marks that Release already returned them.
+	warmStart bool
+	released  bool
 
 	// specAct is the activation variable gating speculative blocking
 	// clauses (-1 until first used). Each pipelined iteration adds
@@ -461,6 +486,7 @@ func (s *Synthesizer) statsView() Stats {
 	st.ProjHits = s.runProjHits
 	st.ProjMisses = s.runProjMisses
 	st.ProjSaved = s.runProjSaved
+	st.WarmStart = s.warmStart
 	s.statsMu.Lock()
 	st.MCSymClasses = s.runSymClasses
 	st.MCOrbitHits = s.runOrbitHits
@@ -539,8 +565,25 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 
 	t0 = time.Now()
 	sp = s.tr.Start("setup.encode", opts.TraceParent)
-	s.b = circuit.NewBuilder()
-	s.holes = sym.HoleInputs(s.b, sk)
+	// Warm start: check a previously built encoding context out of the
+	// cross-request store. The hash-consed builder makes reuse free of
+	// surprises — re-evaluating the structural constraints below returns
+	// the literals already in the builder — and the projection cache
+	// arrives with earlier runs' trace prefixes memoized. A context that
+	// does not structurally match the sketch (a WarmKey collision) is
+	// dropped, never trusted.
+	if opts.Warm != nil && opts.WarmKey != "" && prog.Concurrent() {
+		if w := opts.Warm.Acquire(opts.WarmKey); w != nil {
+			if warmMatches(w, sk) {
+				s.b, s.holes, s.projCache = w.B, w.Holes, w.Cache
+				s.warmStart = true
+			}
+		}
+	}
+	if s.b == nil {
+		s.b = circuit.NewBuilder()
+		s.holes = sym.HoleInputs(s.b, sk)
+	}
 	s.solver = newSolver(opts.Parallelism, opts.NoShareClauses)
 	s.solver.SetTracer(opts.Trace)
 	if opts.ProofSink != nil {
@@ -623,6 +666,41 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 		}
 	}
 	return s, nil
+}
+
+// warmMatches verifies a checked-out warm context structurally fits the
+// sketch: one hole input word per hole, each of the hole's bit width.
+// Desugaring is deterministic, so a context built from the same
+// (source, target, desugar options) always matches; anything else is a
+// key collision and must be rebuilt cold.
+func warmMatches(w *project.WarmState, sk *desugar.Sketch) bool {
+	if w.B == nil || w.Cache == nil || len(w.Holes) != len(sk.Holes) {
+		return false
+	}
+	for i, m := range sk.Holes {
+		if len(w.Holes[i]) != m.Bits {
+			return false
+		}
+	}
+	return true
+}
+
+// Release returns the synthesizer's encoding context — builder, hole
+// inputs, projection cache — to the warm store for the next run of the
+// same sketch. It is idempotent and a no-op without Options.Warm, for
+// sequential sketches (no projection cache), or before the first
+// concurrent Synthesize call. The synthesizer must not be used again
+// after Release: another run may check the context out immediately.
+func (s *Synthesizer) Release() {
+	if s.released || s.opts.Warm == nil || s.opts.WarmKey == "" || s.projCache == nil {
+		return
+	}
+	s.released = true
+	s.opts.Warm.Release(s.opts.WarmKey, &project.WarmState{
+		B:     s.b,
+		Holes: s.holes,
+		Cache: s.projCache,
+	})
 }
 
 // sampleHeap records the heap high-water mark. runtime.ReadMemStats

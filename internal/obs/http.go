@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -15,8 +16,10 @@ import (
 // handlers are registered on a private mux, so importing this package
 // never touches http.DefaultServeMux.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
+	err  error         // its terminal error, read only after done
 }
 
 // ServeDebug starts serving m on addr (e.g. "localhost:6060"; ":0"
@@ -50,13 +53,43 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
 	}
-	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go d.srv.Serve(ln)
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			d.err = err
+		}
+		close(d.done)
+	}()
 	return d, nil
 }
 
 // Addr returns the address actually bound (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Shutdown stops the server gracefully: the listener closes, in-flight
+// requests run to completion (bounded by ctx), and the serve goroutine
+// is joined so any serve-loop error surfaces instead of vanishing.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	<-d.done
+	if err == nil {
+		err = d.err
+	}
+	return err
+}
+
+// Close stops the server immediately (open connections are dropped)
+// and joins the serve goroutine. Prefer Shutdown where a context is
+// available.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	if err == nil {
+		err = d.err
+	}
+	return err
+}

@@ -31,11 +31,12 @@ type cachedState struct {
 // A Cache is single-goroutine (it owns one persistent evaluator); the
 // synthesizer calls it only from the projection step.
 type Cache struct {
-	b     *circuit.Builder
-	l     *state.Layout
-	e     *sym.Evaluator
-	base  sym.Snapshot // state after GlobalInit + Prologue
-	snaps map[string]cachedState
+	b         *circuit.Builder
+	l         *state.Layout
+	e         *sym.Evaluator
+	base      sym.Snapshot // state after GlobalInit + Prologue
+	snaps     map[string]cachedState
+	snapBytes int64 // estimated retained bytes of snaps (keys + cells)
 
 	// Hits counts Encode calls that restored at least one entry;
 	// Misses counts calls replayed from the base state. SavedEntries
@@ -120,8 +121,11 @@ func (c *Cache) Encode(entries []Entry) (circuit.Lit, error) {
 		if _, ok := c.snaps[keys[i]]; !ok {
 			if len(c.snaps) >= cacheCap {
 				c.snaps = make(map[string]cachedState)
+				c.snapBytes = 0
 			}
-			c.snaps[keys[i]] = cachedState{sym: c.e.Snapshot(), st: st.clone()}
+			cs := cachedState{sym: c.e.Snapshot(), st: st.clone()}
+			c.snaps[keys[i]] = cs
+			c.snapBytes += int64(len(keys[i])) + cs.sym.SizeBytes()
 		}
 	}
 	// finishEncode mutates the evaluator past the last snapshot; that
@@ -133,6 +137,19 @@ func (c *Cache) Encode(entries []Entry) (circuit.Lit, error) {
 			obs.Int("hit", hitFlag(start)))
 	}
 	return lit, err
+}
+
+// builderNodeBytes approximates the per-node footprint of the
+// hash-consed circuit builder (two literals, the hash-cons map entry,
+// and amortized slice growth). The encoded projection clauses live in
+// the builder, so this is the dominant term of a warm context's size.
+const builderNodeBytes = 32
+
+// SizeBytes estimates the cache's retained memory: the shared builder's
+// node array (the encoded clauses) plus every memoized snapshot. The
+// warm-state store (Store) evicts on this estimate.
+func (c *Cache) SizeBytes() int64 {
+	return int64(c.b.NumNodes())*builderNodeBytes + c.snapBytes
 }
 
 func hitFlag(start int) int64 {

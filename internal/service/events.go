@@ -1,0 +1,119 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"psketch/internal/obs"
+)
+
+// Event is one line of a job's NDJSON event stream
+// (GET /v1/jobs/{id}/events): a lifecycle transition or a coarse
+// engine span re-emitted live from the job's obs tracer.
+type Event struct {
+	// Event is "queued", "started", "span", or "done".
+	Event string `json:"event"`
+	// TS is the wall-clock emission time.
+	TS time.Time `json:"ts"`
+
+	// Span fields (event == "span").
+	Name  string         `json:"name,omitempty"`
+	DurMS float64        `json:"dur_ms,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+
+	// Terminal fields (event == "done").
+	State    string `json:"state,omitempty"`
+	Resolved *bool  `json:"resolved,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// streamSpans is the set of span names worth streaming to clients:
+// iteration-level progress and run-level milestones. The full span
+// firehose (per-solve, per-encode, per-shard) still goes to the job's
+// journal file; streaming it would swamp slow readers for no insight.
+var streamSpans = map[string]bool{
+	obs.SpanIteration:  true,
+	"cegis.synthesize": true,
+	"cegis.verify":     true,
+	"proof.certify":    true,
+	"setup.lower":      true,
+	"setup.encode":     true,
+}
+
+// hub buffers a job's events and fans them out to any number of
+// concurrent stream readers. Readers replay the full history from index
+// 0 and then follow live; close marks the end of stream. It doubles as
+// an obs.Sink so the job's tracer feeds it directly.
+type hub struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	wake   chan struct{} // closed and replaced on every publish
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{wake: make(chan struct{})}
+}
+
+// publish appends one event (pre-encoded to JSON outside the lock).
+func (h *hub) publish(e Event) {
+	e.TS = time.Now()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return // unreachable: Event marshals by construction
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.lines = append(h.lines, line)
+		close(h.wake)
+		h.wake = make(chan struct{})
+	}
+	h.mu.Unlock()
+}
+
+// Emit implements obs.Sink: coarse spans become "span" events. Safe for
+// concurrent emission from engine workers.
+func (h *hub) Emit(rec obs.SpanRecord) {
+	if !streamSpans[rec.Name] {
+		return
+	}
+	e := Event{Event: "span", Name: rec.Name, DurMS: float64(rec.Dur) / 1e6}
+	if len(rec.Attrs) > 0 {
+		e.Attrs = make(map[string]any, len(rec.Attrs))
+		for _, a := range rec.Attrs {
+			if a.IsStr {
+				e.Attrs[a.Key] = a.Str
+			} else {
+				e.Attrs[a.Key] = a.Int
+			}
+		}
+	}
+	h.publish(e)
+}
+
+// close ends the stream; readers drain what is buffered and stop. The
+// wake channel is closed and deliberately NOT replaced — publish never
+// touches it again (closed guards it), and a replacement would leave
+// late readers blocked on a channel nothing will ever close.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.wake)
+	}
+	h.mu.Unlock()
+}
+
+// snapshot returns the lines from index i on, a channel that closes on
+// the next publish, and whether the hub is closed. A reader loops:
+// write lines, advance, and either stop (closed, nothing new) or wait
+// on wake / its own cancellation.
+func (h *hub) snapshot(i int) (lines [][]byte, wake <-chan struct{}, closed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if i < len(h.lines) {
+		lines = h.lines[i:]
+	}
+	return lines, h.wake, h.closed
+}

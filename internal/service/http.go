@@ -1,0 +1,251 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// JobView is the wire rendering of a job (GET /v1/jobs/{id} and the
+// POST /v1/jobs response).
+type JobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Target string `json:"target"`
+	// Hash is the sketch hash — the warm-store key, stable across
+	// submissions of the same sketch.
+	Hash string `json:"sketch_hash"`
+	// Count is |C|, the candidate-space size, as a decimal string.
+	Count     string     `json:"candidate_count"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	EventsURL string     `json:"events_url"`
+
+	// Terminal fields.
+	Resolved    *bool            `json:"resolved,omitempty"`
+	Code        string           `json:"code,omitempty"`
+	Stats       *StatsView       `json:"stats,omitempty"`
+	Certificate *CertificateView `json:"certificate,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// StatsView is the summary slice of psketch.Stats worth shipping to
+// clients (full stats live in the job's journal trailer).
+type StatsView struct {
+	Iterations int     `json:"iterations"`
+	TotalMS    float64 `json:"total_ms"`
+	SATConfl   int64   `json:"sat_conflicts"`
+	MCStates   int     `json:"mc_states"`
+	// WarmStart reports the run checked its encoding context out of the
+	// cross-request warm store; ProjHits counts projection encodings
+	// that restored a memoized trace prefix during this run.
+	WarmStart bool  `json:"warm_start"`
+	ProjHits  int64 `json:"proj_hits"`
+}
+
+// CertificateView is the DRAT-certificate metadata attached to a
+// certified NO verdict. The certificate was replayed through the
+// backward checker before the verdict committed; these are its shape.
+type CertificateView struct {
+	Premises    int `json:"premises"`
+	Assumptions int `json:"assumptions"`
+	Lemmas      int `json:"lemmas"`
+}
+
+// view renders the job under its lock.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		State:     string(j.state),
+		Target:    j.Target,
+		Hash:      j.Hash,
+		Count:     j.Count,
+		Submitted: j.Submitted,
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.res != nil {
+		r := j.res.Resolved
+		v.Resolved = &r
+		v.Code = j.res.Code
+		v.Stats = &StatsView{
+			Iterations: j.res.Stats.Iterations,
+			TotalMS:    float64(j.res.Stats.Total) / 1e6,
+			SATConfl:   j.res.Stats.SATConfl,
+			MCStates:   j.res.Stats.MCStates,
+			WarmStart:  j.res.Stats.WarmStart,
+			ProjHits:   j.res.Stats.ProjHits,
+		}
+		if c := j.res.Certificate; c != nil {
+			v.Certificate = &CertificateView{
+				Premises:    len(c.Premises),
+				Assumptions: len(c.Assumptions),
+				Lemmas:      c.NumLemmas(),
+			}
+		}
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a sketch; 201, 400, 429, or 503
+//	GET    /v1/jobs             list all jobs (submission order)
+//	GET    /v1/jobs/{id}        job status + terminal result
+//	GET    /v1/jobs/{id}/events NDJSON event stream (replay + follow)
+//	DELETE /v1/jobs/{id}        cooperative cancel; 202
+//	GET    /healthz             liveness ("ok" / "draining")
+//	GET    /metrics             server + warm-store counters, JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, "%s", reqErr.Msg)
+		case errors.Is(err, errQueueFull):
+			// The backpressure contract: the client should retry after
+			// roughly one job's worth of service time.
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, "intake queue full (depth %d); retry later", s.cfg.QueueDepth)
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "state": string(j.State())})
+}
+
+// handleEvents streams the job's event history and then follows live
+// emissions as NDJSON, one event per line, flushed per line. The stream
+// ends when the job reaches a terminal state or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	next := 0
+	for {
+		lines, wake, closed := j.hub.snapshot(next)
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		next += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if closed {
+			// The hub never publishes after close, so what we just
+			// wrote was the full history.
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// handleMetrics snapshots the server registry — job lifecycle counters,
+// live queue depth, and the warm store's warm.* counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cQueueDepth.Set(int64(s.queue.Len()))
+	snap := s.met.Snapshot()
+	if snap == nil {
+		snap = map[string]int64{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}

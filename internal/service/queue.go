@@ -1,0 +1,100 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors surfaced by Push; the HTTP layer maps them to 429 (full)
+// and 503 (draining).
+var (
+	errQueueFull   = errors.New("service: intake queue full")
+	errQueueClosed = errors.New("service: intake queue closed")
+)
+
+// jobQueue is the bounded batched intake queue feeding the fixed worker
+// array — the Go rendering of SNIPPETS.md snippet 1's idiom (a
+// producer-token concurrent queue drained in batches by a fixed array
+// of worker threads). Producers Push one job each and are rejected
+// outright at the depth cap (the admission-control lever: the HTTP
+// handler turns the rejection into 429 + Retry-After rather than
+// letting latency grow unboundedly). Each worker PullBatch-es up to
+// `max` queued jobs in a single critical section and runs them
+// back-to-back, amortizing queue synchronization across bursts.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	depth  int
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &jobQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job, failing fast when the queue is at capacity or
+// closed. It never blocks: backpressure is the caller's job.
+func (q *jobQueue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items) >= q.depth {
+		return errQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// PullBatch blocks until at least one job is queued (or the queue is
+// closed and empty, returning nil — the worker-exit signal) and drains
+// up to max jobs in one critical section.
+func (q *jobQueue) PullBatch(max int) []*Job {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+	n := len(q.items)
+	if n > max {
+		n = max
+	}
+	batch := make([]*Job, n)
+	copy(batch, q.items[:n])
+	rest := copy(q.items, q.items[n:])
+	for i := rest; i < len(q.items); i++ {
+		q.items[i] = nil // release for GC
+	}
+	q.items = q.items[:rest]
+	return batch
+}
+
+// Close stops intake. Jobs already queued are still delivered —
+// admission is a promise — and every blocked PullBatch wakes.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len reports the current queue depth.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,168 @@
+package sketches
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"psketch"
+)
+
+var errNotResolved = errors.New("queueE1 must resolve")
+
+// This file cross-checks the cross-request warm-state cache
+// (psketch.Options.Warm, psketchd's workhorse) against cold runs: on
+// Table 1 rows the verdict must be identical whether a run builds its
+// encoding context from scratch or checks a warm one out of the store,
+// and a warm second run must actually reuse the first run's work
+// (WarmStart set, projection-prefix hits for rows that project traces).
+
+// warmOptions maps a benchmark's desugar options onto the public API.
+func warmOptions(b *Benchmark, test string) psketch.Options {
+	d := b.Opts(test)
+	return psketch.Options{
+		IntWidth:  d.IntWidth,
+		HoleWidth: d.HoleWidth,
+		LoopBound: d.LoopBound,
+		MaxRepeat: d.MaxRepeat,
+		Encoding:  d.Encoding,
+		// Deterministic sequential engine: cold and warm runs explore
+		// the identical candidate sequence, so the reuse assertions
+		// below are exact, not probabilistic.
+		Parallelism: 1,
+	}
+}
+
+func TestWarmCrossCheckVerdictParity(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		if b.Name != "queueE1" && b.Name != "barrier1" && b.Name != "lazyset" {
+			continue // fast resolved rows + the definitive-NO row
+		}
+		if testing.Short() && b.Name == "lazyset" {
+			continue
+		}
+		test := b.Tests[0]
+		t.Run(b.Name+"/"+test, func(t *testing.T) {
+			src, err := b.Source(test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			target, err := psketch.DetectTarget(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := b.Resolvable[test]
+
+			cold := warmOptions(b, test)
+			coldRes, err := psketch.Synthesize(src, target, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldRes.Resolved != want {
+				t.Fatalf("cold: resolved=%v, want %v", coldRes.Resolved, want)
+			}
+			if coldRes.Stats.WarmStart {
+				t.Fatal("cold run reports WarmStart")
+			}
+
+			store := psketch.NewWarmStore(0, nil)
+			warm := cold
+			warm.Warm = store
+			var prev *psketch.Result
+			for run := 0; run < 2; run++ {
+				res, err := psketch.Synthesize(src, target, warm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Resolved != want {
+					t.Fatalf("warm run %d: resolved=%v, want %v", run, res.Resolved, want)
+				}
+				if wantWarm := run > 0; res.Stats.WarmStart != wantWarm {
+					t.Fatalf("warm run %d: WarmStart=%v, want %v", run, res.Stats.WarmStart, wantWarm)
+				}
+				// The deterministic engine must take the same trajectory
+				// warm as cold — warm state memoizes work, it must not
+				// change what is explored.
+				if res.Stats.Iterations != coldRes.Stats.Iterations {
+					t.Fatalf("warm run %d took %d iterations, cold took %d",
+						run, res.Stats.Iterations, coldRes.Stats.Iterations)
+				}
+				if res.Resolved {
+					for i := range coldRes.Candidate {
+						if res.Candidate.Value(i) != coldRes.Candidate.Value(i) {
+							t.Fatalf("warm run %d candidate drifted: %v vs cold %v",
+								run, res.Candidate, coldRes.Candidate)
+						}
+					}
+				}
+				if run > 0 && prev.Stats.ProjMisses > 0 && res.Stats.ProjHits == 0 {
+					// The first warm run projected traces (misses > 0 ⇒
+					// encodes happened); the second run replays the same
+					// traces and must hit the memoized prefixes.
+					t.Fatalf("warm run %d: ProjHits=0 despite %d first-run projection encodes",
+						run, prev.Stats.ProjMisses+prev.Stats.ProjHits)
+				}
+				prev = res
+			}
+			st := store.Stats()
+			if st.Hits < 1 {
+				t.Fatalf("store stats %+v: second identical run did not hit", st)
+			}
+			if st.Entries != 1 {
+				t.Fatalf("store stats %+v: want exactly one idle context", st)
+			}
+		})
+	}
+}
+
+// Many synthesizers of the same sketch sharing one store (run under
+// -race): the exclusive checkout must keep every run race-clean and
+// verdicts identical; losers of the Acquire race build cold.
+func TestWarmConcurrentSynthesizersShareStore(t *testing.T) {
+	b := QueueE1()
+	test := b.Tests[0]
+	src, err := b.Source(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := psketch.DetectTarget(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := warmOptions(b, test)
+	opts.Warm = psketch.NewWarmStore(0, nil)
+
+	const goroutines, rounds = 4, 2
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := psketch.Synthesize(src, target, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Resolved {
+					errs <- errNotResolved
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := opts.Warm.Stats()
+	if st.Hits+st.Misses != goroutines*rounds {
+		t.Fatalf("store stats %+v: want %d acquires", st, goroutines*rounds)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("store stats %+v: want one idle context for one sketch", st)
+	}
+}

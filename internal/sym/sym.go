@@ -86,6 +86,18 @@ type Snapshot struct {
 	err   error
 }
 
+// SizeBytes estimates the snapshot's retained memory: the cell backing
+// array plus each word's literal slice (words are shared between
+// snapshots of one builder, so this over-counts shared tails — it is a
+// bound for cache-eviction accounting, not an exact measurement).
+func (s Snapshot) SizeBytes() int64 {
+	n := int64(len(s.cells)) * 24 // slice headers
+	for _, w := range s.cells {
+		n += int64(len(w)) * 4 // circuit.Lit is an int32
+	}
+	return n
+}
+
 // Snapshot captures the current machine state.
 func (e *Evaluator) Snapshot() Snapshot {
 	return Snapshot{

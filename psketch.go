@@ -22,7 +22,10 @@
 package psketch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math/big"
 	"runtime"
 	"sync/atomic"
@@ -36,6 +39,7 @@ import (
 	"psketch/internal/obs"
 	"psketch/internal/parser"
 	"psketch/internal/printer"
+	"psketch/internal/project"
 	"psketch/internal/state"
 )
 
@@ -135,6 +139,16 @@ type Options struct {
 	// 0 samples only once per Synthesize; pskbench sets 1 to keep the
 	// historical per-iteration MemMiB measurement.
 	HeapSampleEvery int
+	// Warm, when set, is a cross-request warm-state store (build one
+	// with NewWarmStore): Synthesize checks the sketch's encoding
+	// context — hash-consed builder, hole inputs, projection cache —
+	// out of it before running and returns the grown context after, so
+	// repeated synthesis of the same sketch (psketchd's workload)
+	// starts with earlier runs' projection prefixes memoized. Keyed by
+	// SketchHash; concurrent runs of one sketch are safe (the checkout
+	// is exclusive — losers build cold). Ignored under Cubes > 1 and
+	// for sequential sketches.
+	Warm *WarmStore
 }
 
 func (o Options) desugarOpts() desugar.Options {
@@ -151,8 +165,46 @@ func (o Options) desugarOpts() desugar.Options {
 // columns).
 type Stats = core.Stats
 
+// ErrCanceled is returned by Synthesize when Options.Cancel fired
+// before the loop converged (compare with errors.Is — cube and
+// model-checker cancellations unwrap to it too).
+var ErrCanceled = core.ErrCanceled
+
+// WarmStore is the cross-request warm-state cache behind Options.Warm:
+// idle encoding contexts keyed by SketchHash, bounded by estimated
+// retained bytes, evicted least-recently-used first. Safe for
+// concurrent use; hit/miss/eviction counters register as warm.* in the
+// metrics registry passed to NewWarmStore.
+type WarmStore = project.Store
+
+// WarmStats is a point-in-time view of a WarmStore's effectiveness.
+type WarmStats = project.StoreStats
+
+// NewWarmStore builds a warm-state store bounded to maxBytes of
+// estimated retained memory (<= 0 for unbounded), registering its
+// counters in m (nil for none).
+func NewWarmStore(maxBytes int64, m *obs.Metrics) *WarmStore {
+	return project.NewStore(maxBytes, m)
+}
+
+// SketchHash returns the stable warm-store key for (src, target, opts):
+// it folds in the sketch source, the synthesis target, and every
+// desugar-level option that shapes the candidate-space encoding.
+// Engine-level options (parallelism, budgets, proof, tracing) do not
+// contribute — they never change the encoding, so runs differing only
+// in them share warm state soundly.
+func SketchHash(src, target string, opts Options) string {
+	d := opts.desugarOpts()
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%d|%d|%d|%d|%d|%s|", d.IntWidth, d.HoleWidth, d.LoopBound, d.MaxRepeat, d.Encoding, target)
+	io.WriteString(h, src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 func (s *Sketch) coreOpts() core.Options {
 	return core.Options{
+		Warm:               s.opts.Warm,
+		WarmKey:            s.warmKey,
 		MaxIterations:      s.opts.MaxIterations,
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
@@ -177,8 +229,9 @@ type Candidate = desugar.Candidate
 
 // Sketch is a compiled synthesis problem.
 type Sketch struct {
-	sk   *desugar.Sketch
-	opts Options
+	sk      *desugar.Sketch
+	opts    Options
+	warmKey string
 }
 
 // Compile parses, type-checks and desugars the sketch for the given
@@ -192,7 +245,11 @@ func Compile(src, target string, opts Options) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{sk: sk, opts: opts}, nil
+	out := &Sketch{sk: sk, opts: opts}
+	if opts.Warm != nil {
+		out.warmKey = SketchHash(src, target, opts)
+	}
+	return out, nil
 }
 
 // CandidateCount returns |C|, the number of syntactically distinct
@@ -240,6 +297,11 @@ func (s *Sketch) Synthesize() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Return the encoding context to the warm store whatever happens —
+	// after a cancellation or error the builder and projection cache are
+	// still consistent (workers are joined before Synthesize returns),
+	// and the next run of this sketch should start warm regardless.
+	defer syn.Release()
 	r, err := syn.Synthesize()
 	if err != nil {
 		return nil, err
@@ -261,6 +323,9 @@ func (s *Sketch) Synthesize() (*Result, error) {
 func (s *Sketch) cubeOpts() cube.Options {
 	copts := s.coreOpts()
 	copts.Proof = false
+	// Cube engines race concurrently and are owned by internal/cube, so
+	// none of them can hold the sketch's exclusive warm context.
+	copts.Warm, copts.WarmKey = nil, ""
 	total := copts.Parallelism
 	if total <= 0 {
 		total = runtime.GOMAXPROCS(0)
@@ -409,6 +474,7 @@ func (s *Sketch) Enumerate(max int) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer syn.Release()
 	rs, err := syn.Enumerate(max)
 	if err != nil {
 		return nil, err
