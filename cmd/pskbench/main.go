@@ -51,6 +51,8 @@ func main() {
 		cubes      = flag.Int("cubes", 0, "run every test cube-and-conquer with N cubes racing (0/1 = single engine)")
 		cubeWork   = flag.Int("cube-workers", 0, "concurrent cube engines under -cubes (0 = one per cube)")
 		dumpSketch = flag.String("dump-sketch", "", "print the sketch source of benchmark NAME[:test] and exit (feeds psketch -serve-cubes)")
+		rankEmit   = flag.Bool("rank-emitted", false, "emit each winning candidate as Go and measure its load-harness throughput (needs the go tool)")
+		maxSol     = flag.Int("max-solutions", 0, "enumerate-all bound recorded in the report header (psketch/pskemit -max-solutions)")
 	)
 	flag.Parse()
 	if *dumpSketch != "" {
@@ -154,6 +156,7 @@ func main() {
 		NoSymmetry: *noSym, MCCompress: *compress,
 		NoPipeline: !*pipeline, NoShareClauses: !*share, Proof: *proof,
 		Cubes: *cubes, CubeWorkers: *cubeWork,
+		RankEmitted: *rankEmit, MaxSolutions: *maxSol,
 		Trace: tr, Metrics: met, HeapSampleEvery: *heapSample,
 	}
 	if *verbose {

@@ -46,6 +46,9 @@ func main() {
 		serve     = flag.String("serve-cubes", "", "coordinate a multi-process cube run on this address (e.g. 127.0.0.1:7331); pair with psketch -join")
 		serveLoc  = flag.Int("serve-local", 1, "in-process cube engines the -serve-cubes coordinator runs alongside joiners")
 		join      = flag.String("join", "", "join a -serve-cubes coordinator at this address and run cubes it hands out (no file argument)")
+		emitDir   = flag.String("emit-dir", "", "enumerate all verified candidates and emit each as a compilable Go package under this directory")
+		rank      = flag.Bool("rank", false, "with -emit-dir: go build each emitted candidate, run its load harness, and order candidates by measured ops/sec")
+		maxSol    = flag.Int("max-solutions", 8, "enumerate-all bound for -emit-dir (block verified candidates and re-solve until UNSAT or N solutions)")
 	)
 	flag.Parse()
 	if *join != "" {
@@ -123,6 +126,7 @@ func main() {
 		MaxRepeat:          *maxRepeat,
 		MCMaxStates:        *maxStates,
 		TracesPerIteration: *traces,
+		MaxSolutions:       *maxSol,
 		Parallelism:        *par,
 		NoSymmetry:         *noSym,
 		MCCompress:         *compress,
@@ -181,6 +185,10 @@ func main() {
 		}
 		exit(0)
 	}
+	if *emitDir != "" {
+		code := runEmit(sk, *emitDir, *rank)
+		exit(code)
+	}
 	var res *psketch.Result
 	if *serve != "" {
 		if opts.Cubes < 2 {
@@ -216,4 +224,46 @@ func main() {
 
 func autodetectTarget(src string) (string, error) {
 	return psketch.DetectTarget(src)
+}
+
+// runEmit drives the -emit-dir pipeline: enumerate all verified
+// candidates, lower each distinct one to a Go package under dir, and
+// (with -rank) order them by measured throughput. Returns the exit
+// code.
+func runEmit(sk *psketch.Sketch, dir string, rank bool) int {
+	if rank {
+		rs, ms, err := sk.SynthesizeRanked(dir, psketch.RankOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(rs) == 0 {
+			fmt.Println("NO — the sketch cannot be resolved")
+			return 2
+		}
+		fmt.Printf("// %d distinct verified candidate(s) emitted under %s, ranked by measured ops/sec\n", len(rs), dir)
+		for i, m := range ms {
+			if m.Err != "" {
+				fmt.Printf("// #%d %s: FAILED (%s)\n", i+1, m.Dir, m.Err)
+				continue
+			}
+			fmt.Printf("// #%d %s: %.0f ops/sec (%d ops, build %dms)\n", i+1, m.Dir, m.OpsPerSec, m.Ops, m.BuildMS)
+		}
+		fmt.Printf("\n// ---- fastest candidate ----\n\n%s", rs[0].Code)
+		return 0
+	}
+	rs, dirs, err := sk.SynthesizeEmit(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(rs) == 0 {
+		fmt.Println("NO — the sketch cannot be resolved")
+		return 2
+	}
+	fmt.Printf("// %d distinct verified candidate(s) emitted under %s\n", len(rs), dir)
+	for i, d := range dirs {
+		fmt.Printf("// %s (%d iteration(s))\n", d, rs[i].Stats.Iterations)
+	}
+	return 0
 }

@@ -1,0 +1,108 @@
+package psketch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"psketch/internal/sketches"
+)
+
+// queueE1Sketch compiles the queueE1 Table 1 row ("ed(ee|dd)") with
+// the given engine configuration. The row's verified space is small
+// enough that MaxSolutions 64 always exhausts it to UNSAT, so the
+// enumerated set — not just its size — is a whole-space fact.
+func queueE1Sketch(t *testing.T, opts Options) *Sketch {
+	t.Helper()
+	bm := sketches.ByName("queueE1")
+	if bm == nil {
+		t.Fatal("queueE1 benchmark not registered")
+	}
+	src, err := bm.Source("ed(ee|dd)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bm.Opts("ed(ee|dd)")
+	opts.IntWidth = d.IntWidth
+	opts.LoopBound = d.LoopBound
+	opts.MaxSolutions = 64
+	sk, err := Compile(src, "Main", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// candidateSet runs enumerate-all mode and returns the verified
+// candidate set as a sorted slice of candidate strings.
+func candidateSet(t *testing.T, opts Options) []string {
+	t.Helper()
+	rs, err := queueE1Sketch(t, opts).SynthesizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]string, 0, len(rs))
+	seen := map[string]bool{}
+	for _, r := range rs {
+		key := CandidateString(r.Candidate)
+		if seen[key] {
+			t.Fatalf("SynthesizeAll returned duplicate candidate %s", key)
+		}
+		seen[key] = true
+		set = append(set, key)
+	}
+	sort.Strings(set)
+	return set
+}
+
+// The enumerate-all verified set is a property of the sketch, not of
+// the engine configuration: sequential, parallel-portfolio, and
+// cube-and-conquer runs must all converge on the same set of blocked
+// solutions before hitting UNSAT. Blocking clauses are whole-space
+// facts, so this holds under cube assumptions too.
+func TestEnumerateAllInvariantAcrossConfigs(t *testing.T) {
+	base := candidateSet(t, Options{Parallelism: 1})
+	if len(base) == 0 {
+		t.Fatal("queueE1 ed(ee|dd) enumerated no verified candidates")
+	}
+	configs := map[string]Options{
+		"parallel-4": {Parallelism: 4},
+		"cubes-4":    {Parallelism: 2, Cubes: 4},
+	}
+	for name, opts := range configs {
+		got := candidateSet(t, opts)
+		if fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Errorf("%s: enumerated set %v, sequential baseline %v", name, got, base)
+		}
+	}
+}
+
+// SynthesizeEmit writes one compilable package per distinct verified
+// candidate plus a manifest that RankEmitted can reload.
+func TestSynthesizeEmitManifest(t *testing.T) {
+	dir := t.TempDir()
+	sk := queueE1Sketch(t, Options{Parallelism: 1})
+	rs, dirs, err := sk.SynthesizeEmit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || len(rs) != len(dirs) {
+		t.Fatalf("got %d results, %d dirs", len(rs), len(dirs))
+	}
+	for _, d := range dirs {
+		for _, f := range []string{"ds.go", "bench.go", "ds_test.go", "go.mod"} {
+			if _, err := os.Stat(filepath.Join(d, f)); err != nil {
+				t.Errorf("emitted package missing %s: %v", f, err)
+			}
+		}
+	}
+	man, err := ReadEmitManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Sketch == "" || len(man.Candidates) != len(dirs) {
+		t.Fatalf("manifest: sketch %q, %d candidates, want %d", man.Sketch, len(man.Candidates), len(dirs))
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"math/big"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"psketch/internal/core"
 	"psketch/internal/cube"
 	"psketch/internal/desugar"
+	"psketch/internal/emit"
 	"psketch/internal/obs"
 	"psketch/internal/parser"
 	"psketch/internal/sat"
@@ -65,6 +68,9 @@ type Row struct {
 	ProofLemmas  int
 	ProofChecked int
 	ProofCheck   time.Duration
+	// Throughput is the resolved candidate's measured ops/sec from its
+	// emitted Go load harness (zero unless Options.RankEmitted).
+	Throughput float64
 	// Cube-and-conquer columns (zero unless Options.Cubes > 1): actual
 	// cube count, winning cube (-1 for NO), cubes run by stealing
 	// workers, per-cube iteration counts, and the cross-cube exchange
@@ -135,6 +141,16 @@ type Options struct {
 	// default it to 1 so MemMiB stays comparable with checked-in
 	// baselines; 0 samples once per run.
 	HeapSampleEvery int
+	// RankEmitted, after each resolved test, lowers the winning
+	// candidate to a Go package (internal/emit), builds it, runs its
+	// generated load harness, and records the measured ops/sec in
+	// Row.Throughput / Stats.Throughput. Needs the go tool on PATH;
+	// when it is missing the column stays zero and the sweep goes on.
+	RankEmitted bool
+	// MaxSolutions is recorded in the report header alongside
+	// RankEmitted (the enumerate-all bound the emit pipeline ran
+	// with); it does not change the sweep itself.
+	MaxSolutions int
 }
 
 // logBig computes log10 of a big integer.
@@ -306,7 +322,45 @@ func RunOne(b *sketches.Benchmark, test string, opts Options) Row {
 	row.ProofLemmas = res.Stats.ProofLemmas
 	row.ProofChecked = res.Stats.ProofChecked
 	row.ProofCheck = res.Stats.ProofCheck
+	if opts.RankEmitted && res.Resolved {
+		rankEmitted(sk, res, &row, opts)
+	}
 	return row
+}
+
+// rankEmitted lowers the resolved candidate to a Go package in a
+// scratch directory and measures its generated load harness — the
+// emit/rank throughput column. Failures are silent by design: a bench
+// sweep must not die because the host lacks a go toolchain or the
+// harness has no drivable ops.
+func rankEmitted(sk *desugar.Sketch, res *core.Result, row *Row, opts Options) {
+	if !emit.HaveGo("") {
+		return
+	}
+	root, err := os.MkdirTemp("", "psketch-emit-")
+	if err != nil {
+		return
+	}
+	defer os.RemoveAll(root)
+	p, err := emit.Emit(sk, res.Candidate, emit.Options{
+		Name: "cand00", Tracer: opts.Trace, Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return
+	}
+	dir := filepath.Join(root, "cand00")
+	if err := p.WriteDir(dir); err != nil {
+		return
+	}
+	ms, err := emit.Rank([]string{dir}, emit.RankOptions{
+		Runs: 1, Duration: 200 * time.Millisecond,
+		Tracer: opts.Trace, Metrics: opts.Metrics,
+	})
+	if err != nil || len(ms) == 0 || ms[0].Err != "" {
+		return
+	}
+	res.Stats.Throughput = ms[0].OpsPerSec
+	row.Throughput = ms[0].OpsPerSec
 }
 
 // RunFig9 sweeps the Figure 9 grid and prints measured-vs-paper rows.

@@ -54,6 +54,11 @@ type jsonRow struct {
 	ProofChecked int     `json:"proof_checked,omitempty"`
 	ProofCheckMS float64 `json:"proof_check_ms,omitempty"`
 
+	// Emit/rank column (absent unless the sweep ran with
+	// -rank-emitted): the resolved candidate's measured ops/sec from
+	// its emitted Go load harness.
+	ThroughputOpsSec float64 `json:"throughput_ops_sec,omitempty"`
+
 	// Cube-and-conquer columns (absent in reports from single-engine
 	// sweeps and pre-PR7 files; omitempty keeps them diff-clean).
 	Cubes              int   `json:"cubes,omitempty"`
@@ -85,15 +90,20 @@ type jsonOptions struct {
 	TimeoutMS          int64  `json:"timeout_ms"`
 	Filter             string `json:"filter,omitempty"`
 
-	MCMaxStates int    `json:"mc_max_states,omitempty"`
-	Proof       bool   `json:"proof,omitempty"`
-	Cubes       int    `json:"cubes,omitempty"`
-	CubeWorkers int    `json:"cube_workers,omitempty"`
-	GoVersion   string `json:"go_version,omitempty"`
-	GOOS        string `json:"goos,omitempty"`
-	GOARCH      string `json:"goarch,omitempty"`
-	NumCPU      int    `json:"num_cpu,omitempty"`
-	GOMAXPROCS  int    `json:"gomaxprocs,omitempty"`
+	MCMaxStates int  `json:"mc_max_states,omitempty"`
+	Proof       bool `json:"proof,omitempty"`
+	Cubes       int  `json:"cubes,omitempty"`
+	CubeWorkers int  `json:"cube_workers,omitempty"`
+	// Emit/rank knobs: throughput numbers are only comparable between
+	// runs that measured the same way, so the gate needs them recorded
+	// like the reduction knobs.
+	RankEmitted  bool   `json:"rank_emitted,omitempty"`
+	MaxSolutions int    `json:"max_solutions,omitempty"`
+	GoVersion    string `json:"go_version,omitempty"`
+	GOOS         string `json:"goos,omitempty"`
+	GOARCH       string `json:"goarch,omitempty"`
+	NumCPU       int    `json:"num_cpu,omitempty"`
+	GOMAXPROCS   int    `json:"gomaxprocs,omitempty"`
 }
 
 // jsonReport is the top-level document pskbench -json writes.
@@ -122,6 +132,8 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 	rep.Options.Proof = opts.Proof
 	rep.Options.Cubes = opts.Cubes
 	rep.Options.CubeWorkers = opts.CubeWorkers
+	rep.Options.RankEmitted = opts.RankEmitted
+	rep.Options.MaxSolutions = opts.MaxSolutions
 	rep.Options.GoVersion = runtime.Version()
 	rep.Options.GOOS = runtime.GOOS
 	rep.Options.GOARCH = runtime.GOARCH
@@ -142,7 +154,8 @@ func WriteJSON(path string, rows []Row, opts Options) error {
 			SATExported: r.SATExported, SATImported: r.SATImported,
 			ProjHits: r.ProjHits, ProjMisses: r.ProjMisses, ProjSaved: r.ProjSaved,
 			ProofLemmas: r.ProofLemmas, ProofChecked: r.ProofChecked, ProofCheckMS: ms(r.ProofCheck),
-			Cubes: r.Cubes, CubeWinner: r.CubeWinner, CubeStolen: r.CubeStolen,
+			ThroughputOpsSec: r.Throughput,
+			Cubes:            r.Cubes, CubeWinner: r.CubeWinner, CubeStolen: r.CubeStolen,
 			CubeIters: r.CubeIters, SATBusExported: r.SATBusExported, SATBusImported: r.SATBusImported,
 			CubeRemoteTraces: r.CubeRemoteTraces, CubePrunedByRemote: r.CubePrunedByRemote,
 		}

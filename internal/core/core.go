@@ -49,6 +49,17 @@ import (
 type Options struct {
 	// MaxIterations bounds the CEGIS loop (default 256).
 	MaxIterations int
+	// MaxSolutions bounds enumerate-all mode (EnumerateAll): keep
+	// blocking verified candidates and re-solving until UNSAT or this
+	// many solutions (default 8). The paper's §8.3.1 autotuning hook,
+	// bounded.
+	MaxSolutions int
+	// Block rules out candidates before synthesis starts: each entry
+	// gets a blocking clause exactly as Exclude would add after a
+	// solution. Blocking clauses are whole-space facts, so they stay
+	// sound under cube assumptions — internal/cube uses this to resume
+	// enumeration across independently cubed re-solves.
+	Block []desugar.Candidate
 	// MCMaxStates bounds the model checker (default 4,000,000).
 	MCMaxStates int
 	// TracesPerIteration asks the verifier for several counterexample
@@ -185,6 +196,9 @@ func (o Options) defaults() Options {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 256
 	}
+	if o.MaxSolutions == 0 {
+		o.MaxSolutions = 8
+	}
 	if o.MCMaxStates == 0 {
 		o.MCMaxStates = 4_000_000
 	}
@@ -276,6 +290,10 @@ type Stats struct {
 	ProofChecked int
 	ProofCore    int
 	ProofCheck   time.Duration
+	// Throughput is the candidate's measured ops/sec from the emitted
+	// Go load harness (internal/emit ranking pass); zero when the
+	// candidate was never emitted and measured.
+	Throughput float64
 }
 
 // ErrCanceled is returned by Synthesize when Options.Cancel fired
@@ -645,6 +663,11 @@ func New(sk *desugar.Sketch, opts Options) (*Synthesizer, error) {
 	// bus filter and the DRAT namespace boundary sound. internal/cube
 	// cross-checks this count across workers.
 	s.setupVars = s.solver.NumVars()
+	// Pre-blocked candidates (enumeration resume): added after the
+	// deterministic setup prefix, like any other learned clause.
+	for _, cand := range opts.Block {
+		s.excludeCandidate(cand)
+	}
 	for _, cl := range opts.Cube {
 		if cl.Hole < 0 || cl.Hole >= len(s.holeVars) || cl.Bit < 0 || cl.Bit >= len(s.holeVars[cl.Hole]) {
 			return nil, fmt.Errorf("core: cube literal out of range: hole %d bit %d", cl.Hole, cl.Bit)
@@ -1529,4 +1552,11 @@ func (s *Synthesizer) Enumerate(max int) ([]*Result, error) {
 		s.Exclude(r.Candidate)
 	}
 	return out, nil
+}
+
+// EnumerateAll is enumerate-all-solutions mode: block each verified
+// candidate and re-solve until the space is UNSAT, bounded by
+// Options.MaxSolutions.
+func (s *Synthesizer) EnumerateAll() ([]*Result, error) {
+	return s.Enumerate(s.opts.MaxSolutions)
 }

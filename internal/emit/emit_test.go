@@ -1,0 +1,221 @@
+package emit
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psketch/internal/core"
+	"psketch/internal/desugar"
+	"psketch/internal/parser"
+	"psketch/internal/sketches"
+)
+
+// -update regenerates the golden emitted sources under testdata/golden.
+var update = flag.Bool("update", false, "rewrite golden emitted sources")
+
+// synthesize runs sequential CEGIS (Parallelism 1 keeps the chosen
+// candidate deterministic, which the golden files rely on).
+func synthesize(t *testing.T, bench, test string) (*desugar.Sketch, desugar.Candidate) {
+	t.Helper()
+	b := sketches.ByName(bench)
+	if b == nil {
+		t.Fatalf("no benchmark %s", bench)
+	}
+	src, err := b.Source(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := desugar.Desugar(prog, "Main", b.Opts(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := core.New(sk, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := syn.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatalf("%s %s must resolve", bench, test)
+	}
+	return sk, res.Candidate
+}
+
+func TestEmitQueueE1(t *testing.T) {
+	sk, cand := synthesize(t, "queueE1", "ed(ee|dd)")
+	p, err := Emit(sk, cand, Options{Name: "cand00"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"ds.go", "bench.go", "ds_test.go", "go.mod"} {
+		if len(p.Files[f]) == 0 {
+			t.Errorf("missing emitted file %s", f)
+		}
+	}
+	if len(p.Ops) == 0 {
+		t.Error("no load-harness ops collected from the fork body")
+	}
+	ds := string(p.Files["ds.go"])
+	for _, want := range []string{"package main", "type DS struct", "func New() *DS", ") Run()", ") Init()", "sync/atomic"} {
+		if !strings.Contains(ds, want) {
+			t.Errorf("ds.go missing %q", want)
+		}
+	}
+	// The restricted Enqueue uses CAS/AtomicSwap; the lowering must
+	// produce real sync/atomic calls, not plain loads/stores.
+	if !strings.Contains(ds, ".Swap(") && !strings.Contains(ds, ".CompareAndSwap(") {
+		t.Error("ds.go has no atomic RMW operations")
+	}
+}
+
+// TestEmittedQueueE1AgreesWithMC is the model-checker cross-check: the
+// emitted package must vet, build, and pass its own generated stress
+// test under the race detector — i.e. the harness assertions the MC
+// proved must hold when the candidate runs as real concurrent Go.
+func TestEmittedQueueE1AgreesWithMC(t *testing.T) {
+	if !HaveGo("go") {
+		t.Skip("go tool not on PATH")
+	}
+	sk, cand := synthesize(t, "queueE1", "ed(ee|dd)")
+	p, err := Emit(sk, cand, Options{Name: "cand00"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "cand00")
+	if err := p.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	goRun := func(args ...string) (string, error) {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	if out, err := goRun("vet", "."); err != nil {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+	if out, err := goRun("build", "-o", os.DevNull, "."); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if out, err := goRun("test", "-race", "-short", "."); err != nil {
+		if strings.Contains(out, "requires cgo") || strings.Contains(out, "-race is not supported") {
+			t.Skipf("race detector unavailable: %s", out)
+		}
+		t.Fatalf("go test -race on emitted package: %v\n%s", err, out)
+	}
+}
+
+// TestGolden pins the emitted Go source for two small Table 1 sketches
+// so codegen drift shows up in reviewable diffs. Regenerate with
+//
+//	go test ./internal/emit/ -run TestGolden -update
+func TestGolden(t *testing.T) {
+	cases := []struct{ bench, test string }{
+		{"queueE1", "ed(ee|dd)"},
+		{"barrier1", "2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench, func(t *testing.T) {
+			b := sketches.ByName(tc.bench)
+			if b == nil {
+				t.Fatalf("no benchmark %s", tc.bench)
+			}
+			test := tc.test
+			found := false
+			for _, tt := range b.Tests {
+				if tt == test {
+					found = true
+				}
+			}
+			if !found {
+				test = b.Tests[0]
+			}
+			sk, cand := synthesize(t, tc.bench, test)
+			p, err := Emit(sk, cand, Options{Name: "golden"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", "golden", tc.bench)
+			if *update {
+				if err := os.RemoveAll(dir); err != nil {
+					t.Fatal(err)
+				}
+				// Golden files get a .txt suffix so the emitted
+				// package main does not join the repo build.
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				for name, data := range p.Files {
+					if err := os.WriteFile(filepath.Join(dir, name+".txt"), data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return
+			}
+			for name, data := range p.Files {
+				want, err := os.ReadFile(filepath.Join(dir, name+".txt"))
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if string(want) != string(data) {
+					t.Errorf("%s/%s drifted from golden; run with -update and review the diff", tc.bench, name)
+				}
+			}
+		})
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		Sketch: "queueE1",
+		Candidates: []ManifestEntry{
+			{Name: "cand00", Candidate: []int64{1, 0}, Code: "...", Ops: []string{"Enqueue", "Dequeue"}},
+		},
+		Ranked: []Measurement{{Dir: "cand00", OpsPerSec: 123}},
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sketch != "queueE1" || len(got.Candidates) != 1 || got.Candidates[0].Name != "cand00" {
+		t.Fatalf("round trip mangled manifest: %+v", got)
+	}
+	dirs := got.CandidateDirs(dir)
+	if len(dirs) != 1 || dirs[0] != filepath.Join(dir, "cand00") {
+		t.Fatalf("CandidateDirs: %v", dirs)
+	}
+}
+
+func TestSafeIdentAndFreshName(t *testing.T) {
+	if safeIdent("type") != "type_" || safeIdent("head") != "head" {
+		t.Error("safeIdent")
+	}
+	used := map[string]bool{"s": true, "s_": true}
+	if freshName("s", used) != "s__" {
+		t.Error("freshName")
+	}
+	if exported("enqueue") != "Enqueue" {
+		t.Error("exported")
+	}
+}
+
+func TestLastJSONLine(t *testing.T) {
+	out := []byte("warning: something\n{\"ops\":5}\n")
+	if string(lastJSONLine(out)) != `{"ops":5}` {
+		t.Errorf("lastJSONLine: %s", lastJSONLine(out))
+	}
+}

@@ -1,0 +1,1383 @@
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psketch/internal/ast"
+	"psketch/internal/desugar"
+	"psketch/internal/printer"
+	"psketch/internal/token"
+	"psketch/internal/types"
+)
+
+// gen lowers resolved sketch ASTs (printer.ResolveAST output) to Go
+// source. All shared state — globals and struct fields — becomes
+// atomic cells on a DS struct; thread-locals stay plain Go values.
+type gen struct {
+	sk   *desugar.Sketch
+	cand desugar.Candidate
+
+	structs     map[string]*types.StructInfo
+	structOrder []string
+	globals     map[string]types.Type
+	globalOrder []string
+	funcs       map[string]*ast.FuncDecl // WorkProg functions by name
+
+	// per-function emission state
+	buf      strings.Builder
+	ind      int
+	recv     string
+	locals   map[string]types.Type
+	reads    map[string]int
+	retT     types.Type
+	inAtomic int
+
+	needs   map[string]bool // imports
+	helpers map[string]bool // helper functions referenced
+	err     error
+}
+
+func newGen(sk *desugar.Sketch, cand desugar.Candidate) *gen {
+	g := &gen{
+		sk:      sk,
+		cand:    cand,
+		structs: sk.Info.Structs,
+		globals: map[string]types.Type{},
+		funcs:   map[string]*ast.FuncDecl{},
+		needs:   map[string]bool{},
+		helpers: map[string]bool{},
+	}
+	for _, s := range sk.WorkProg.Structs {
+		g.structOrder = append(g.structOrder, s.Name)
+	}
+	for _, f := range sk.WorkProg.Funcs {
+		g.funcs[f.Name] = f
+	}
+	for _, gd := range sk.WorkProg.Globals {
+		t, err := g.typeExprType(gd.Type)
+		if err != nil {
+			g.errf("global %s: %v", gd.Name, err)
+			continue
+		}
+		g.globals[gd.Name] = t
+		g.globalOrder = append(g.globalOrder, gd.Name)
+	}
+	return g
+}
+
+func (g *gen) errf(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("emit: "+format, args...)
+	}
+}
+
+// ------------------------------------------------------------ types
+
+// goType renders the plain (thread-local) Go type of a model type.
+func goType(t types.Type) string {
+	var s string
+	switch t.Base {
+	case types.Int:
+		s = "int64"
+	case types.Bool:
+		s = "bool"
+	case types.Ref:
+		s = "*" + safeType(t.Struct)
+	default:
+		s = "int64"
+	}
+	if t.Len > 0 {
+		return fmt.Sprintf("[%d]%s", t.Len, s)
+	}
+	return s
+}
+
+// goAtomic renders the atomic-cell Go type of a shared model type.
+func goAtomic(t types.Type) string {
+	var s string
+	switch t.Base {
+	case types.Int:
+		s = "atomic.Int64"
+	case types.Bool:
+		s = "atomic.Bool"
+	case types.Ref:
+		s = "atomic.Pointer[" + safeType(t.Struct) + "]"
+	default:
+		s = "atomic.Int64"
+	}
+	if t.Len > 0 {
+		return fmt.Sprintf("[%d]%s", t.Len, s)
+	}
+	return s
+}
+
+func safeType(name string) string { return safeIdent(name) }
+
+// ------------------------------------------------------------ typing
+
+// typeOf computes the structural type of a resolved expression.
+func (g *gen) typeOf(e ast.Expr) types.Type {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := g.locals[x.Name]; ok {
+			return t
+		}
+		if t, ok := g.globals[x.Name]; ok {
+			return t
+		}
+		g.errf("unknown identifier %s", x.Name)
+	case *ast.IntLit:
+		return types.TInt
+	case *ast.BoolLit:
+		return types.TBool
+	case *ast.NullLit:
+		return types.Type{Base: types.Ref}
+	case *ast.BitsLit:
+		return types.ArrayOf(types.TBool, len(x.Text))
+	case *ast.Unary:
+		if x.Op == token.NOT {
+			return types.TBool
+		}
+		return types.TInt
+	case *ast.Binary:
+		switch x.Op {
+		case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ, token.LAND, token.LOR:
+			return types.TBool
+		}
+		return types.TInt
+	case *ast.FieldExpr:
+		bt := g.typeOf(x.X)
+		si := g.structs[bt.Struct]
+		if si == nil {
+			g.errf("field %s of non-struct %s", x.Name, bt)
+			return types.TInt
+		}
+		f, i := si.Field(x.Name)
+		if i < 0 {
+			g.errf("no field %s on %s", x.Name, bt.Struct)
+			return types.TInt
+		}
+		return f.Type
+	case *ast.IndexExpr:
+		return g.typeOf(x.X).Elem()
+	case *ast.CallExpr:
+		return g.callType(x)
+	case *ast.CastExpr:
+		t, err := g.typeExprType(x.Type)
+		if err != nil {
+			g.errf("%v", err)
+		}
+		return t
+	case *ast.NewExpr:
+		return types.RefTo(x.Type)
+	}
+	g.errf("untypable expression %T", e)
+	return types.TInt
+}
+
+func (g *gen) callType(x *ast.CallExpr) types.Type {
+	switch x.Fun {
+	case "CAS":
+		return types.TBool
+	case "AtomicSwap":
+		if len(x.Args) > 0 {
+			return g.typeOf(x.Args[0])
+		}
+		return types.TInt
+	case "AtomicReadAndIncr", "AtomicReadAndDecr":
+		return types.TInt
+	}
+	f := g.funcs[x.Fun]
+	if f == nil {
+		g.errf("call to unknown function %s", x.Fun)
+		return types.TInt
+	}
+	t, err := g.typeExprType(f.Ret)
+	if err != nil {
+		g.errf("%v", err)
+	}
+	return t
+}
+
+// ------------------------------------------------------------ lvalues
+
+// cell returns the Go expression addressing an lvalue's storage cell,
+// the cell's model type, and whether it is a shared atomic cell.
+func (g *gen) cell(e ast.Expr) (string, types.Type, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := g.locals[x.Name]; ok {
+			return safeIdent(x.Name), t, false
+		}
+		if t, ok := g.globals[x.Name]; ok {
+			return g.recv + "." + safeIdent(x.Name), t, true
+		}
+		g.errf("unknown identifier %s", x.Name)
+	case *ast.IndexExpr:
+		base, t, shared := g.cell(x.X)
+		if !t.IsArray() {
+			g.errf("indexing non-array %s", types.ExprString(x.X))
+		}
+		return base + "[" + g.exprInt(x.Index) + "]", t.Elem(), shared
+	case *ast.FieldExpr:
+		obj, bt := g.expr(x.X)
+		si := g.structs[bt.Struct]
+		if si == nil {
+			g.errf("field %s of non-struct", x.Name)
+			return "", types.TInt, false
+		}
+		f, i := si.Field(x.Name)
+		if i < 0 {
+			g.errf("no field %s on %s", x.Name, bt.Struct)
+			return "", types.TInt, false
+		}
+		// Struct fields are always shared atomic cells.
+		return obj + "." + safeIdent(x.Name), f.Type, true
+	default:
+		g.errf("unsupported lvalue %T", e)
+	}
+	return "", types.TInt, false
+}
+
+// ------------------------------------------------------------ rvalues
+
+// expr renders an expression's value and reports its model type.
+func (g *gen) expr(e ast.Expr) (string, types.Type) {
+	switch x := e.(type) {
+	case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr:
+		c, t, shared := g.cell(e)
+		if shared && !t.IsArray() {
+			return c + ".Load()", t
+		}
+		return c, t
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", x.Val), types.TInt
+	case *ast.BoolLit:
+		if x.Val {
+			return "true", types.TBool
+		}
+		return "false", types.TBool
+	case *ast.NullLit:
+		return "nil", types.Type{Base: types.Ref}
+	case *ast.BitsLit:
+		var elems []string
+		for i := 0; i < len(x.Text); i++ {
+			if x.Text[i] == '1' {
+				elems = append(elems, "true")
+			} else {
+				elems = append(elems, "false")
+			}
+		}
+		return fmt.Sprintf("[%d]bool{%s}", len(x.Text), strings.Join(elems, ", ")),
+			types.ArrayOf(types.TBool, len(x.Text))
+	case *ast.Unary:
+		switch x.Op {
+		case token.NOT:
+			return "(!" + g.cond(x.X) + ")", types.TBool
+		case token.SUB:
+			return "(-" + g.exprInt(x.X) + ")", types.TInt
+		}
+		g.errf("unsupported unary op %v", x.Op)
+	case *ast.Binary:
+		return g.binary(x)
+	case *ast.CallExpr:
+		return g.call(x)
+	case *ast.NewExpr:
+		return g.newExpr(x)
+	case *ast.CastExpr:
+		t, err := g.typeExprType(x.Type)
+		if err != nil {
+			g.errf("%v", err)
+			return "0", types.TInt
+		}
+		if t.IsArray() {
+			g.errf("array casts are not supported by the Go backend")
+			return "0", t
+		}
+		return g.exprAs(x.X, t), t
+	case *ast.Hole:
+		g.errf("unresolved hole ?? (id %d) survived resolution", x.ID)
+	case *ast.Regen:
+		g.errf("unresolved generator {| %s |} survived resolution", x.Text)
+	default:
+		g.errf("unsupported expression %T", e)
+	}
+	return "0", types.TInt
+}
+
+func (g *gen) binary(x *ast.Binary) (string, types.Type) {
+	goOp := map[token.Kind]string{
+		token.ADD: "+", token.SUB: "-", token.MUL: "*",
+		token.QUO: "/", token.REM: "%",
+		token.EQ: "==", token.NEQ: "!=",
+		token.LT: "<", token.LEQ: "<=", token.GT: ">", token.GEQ: ">=",
+	}
+	switch x.Op {
+	case token.LAND:
+		return "(" + g.cond(x.X) + " && " + g.cond(x.Y) + ")", types.TBool
+	case token.LOR:
+		return "(" + g.cond(x.X) + " || " + g.cond(x.Y) + ")", types.TBool
+	case token.EQ, token.NEQ:
+		xt, yt := g.typeOf(x.X), g.typeOf(x.Y)
+		switch {
+		case xt.Base == types.Ref || yt.Base == types.Ref:
+			xs, _ := g.expr(x.X)
+			ys, _ := g.expr(x.Y)
+			return "(" + xs + " " + goOp[x.Op] + " " + ys + ")", types.TBool
+		case xt.Base == types.Bool && yt.Base == types.Bool:
+			xs, _ := g.expr(x.X)
+			ys, _ := g.expr(x.Y)
+			return "(" + xs + " " + goOp[x.Op] + " " + ys + ")", types.TBool
+		default:
+			// Mixed bool/int comparisons go through b2i, like the
+			// model's 0/1 cells.
+			return "(" + g.exprInt(x.X) + " " + goOp[x.Op] + " " + g.exprInt(x.Y) + ")", types.TBool
+		}
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		return "(" + g.exprInt(x.X) + " " + goOp[x.Op] + " " + g.exprInt(x.Y) + ")", types.TBool
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return "(" + g.exprInt(x.X) + " " + goOp[x.Op] + " " + g.exprInt(x.Y) + ")", types.TInt
+	}
+	g.errf("unsupported binary op %v", x.Op)
+	return "0", types.TInt
+}
+
+func (g *gen) call(x *ast.CallExpr) (string, types.Type) {
+	switch x.Fun {
+	case "AtomicSwap", "CAS", "AtomicReadAndIncr", "AtomicReadAndDecr":
+		return g.atomicBuiltin(x)
+	}
+	f := g.funcs[x.Fun]
+	if f == nil {
+		g.errf("call to unknown function %s", x.Fun)
+		return "0", types.TInt
+	}
+	var args []string
+	for i, a := range x.Args {
+		if i >= len(f.Params) {
+			g.errf("too many arguments to %s", x.Fun)
+			break
+		}
+		pt, err := g.typeExprType(f.Params[i].Type)
+		if err != nil {
+			g.errf("%v", err)
+			pt = types.TInt
+		}
+		args = append(args, g.exprAs(a, pt))
+	}
+	ret, err := g.typeExprType(f.Ret)
+	if err != nil {
+		g.errf("%v", err)
+	}
+	return g.recv + "." + g.methodName(f) + "(" + strings.Join(args, ", ") + ")", ret
+}
+
+func (g *gen) newExpr(x *ast.NewExpr) (string, types.Type) {
+	si := g.structs[x.Type]
+	if si == nil {
+		g.errf("new of unknown struct %s", x.Type)
+		return "nil", types.Type{Base: types.Ref}
+	}
+	ctor := si.CtorFields()
+	var args []string
+	for i, a := range x.Args {
+		if i >= len(ctor) {
+			g.errf("too many constructor arguments for %s", si.Name)
+			break
+		}
+		args = append(args, g.exprAs(a, si.Fields[ctor[i]].Type))
+	}
+	return g.recv + ".new" + exported(safeType(si.Name)) + "(" + strings.Join(args, ", ") + ")",
+		types.RefTo(si.Name)
+}
+
+func (g *gen) atomicBuiltin(x *ast.CallExpr) (string, types.Type) {
+	if len(x.Args) == 0 {
+		g.errf("%s needs a location argument", x.Fun)
+		return "0", types.TInt
+	}
+	c, t, shared := g.cell(x.Args[0])
+	if !shared {
+		g.errf("%s on thread-local %s (the Go backend lowers atomics only on shared cells)",
+			x.Fun, types.ExprString(x.Args[0]))
+		return "0", types.TInt
+	}
+	switch x.Fun {
+	case "AtomicSwap":
+		if len(x.Args) != 2 {
+			g.errf("AtomicSwap needs 2 arguments")
+			return "0", t
+		}
+		return c + ".Swap(" + g.exprAs(x.Args[1], t) + ")", t
+	case "CAS":
+		if len(x.Args) != 3 {
+			g.errf("CAS needs 3 arguments")
+			return "false", types.TBool
+		}
+		return c + ".CompareAndSwap(" + g.exprAs(x.Args[1], t) + ", " + g.exprAs(x.Args[2], t) + ")",
+			types.TBool
+	case "AtomicReadAndIncr":
+		return "(" + c + ".Add(1) - 1)", types.TInt
+	case "AtomicReadAndDecr":
+		return "(" + c + ".Add(-1) + 1)", types.TInt
+	}
+	g.errf("unknown atomic builtin %s", x.Fun)
+	return "0", types.TInt
+}
+
+// exprAs renders e coerced to the model type want (bool↔int bridging,
+// matching the model's 0/1 boolean cells).
+func (g *gen) exprAs(e ast.Expr, want types.Type) string {
+	s, t := g.expr(e)
+	switch {
+	case want.Base == types.Bool && t.Base == types.Int:
+		return "(" + s + " != 0)"
+	case want.Base == types.Int && t.Base == types.Bool:
+		g.helpers["b2i"] = true
+		return "b2i(" + s + ")"
+	}
+	return s
+}
+
+func (g *gen) cond(e ast.Expr) string    { return g.exprAs(e, types.TBool) }
+func (g *gen) exprInt(e ast.Expr) string { return g.exprAs(e, types.TInt) }
+
+// ------------------------------------------------------------ statements
+
+func (g *gen) line(format string, args ...any) {
+	for i := 0; i < g.ind; i++ {
+		g.buf.WriteByte('\t')
+	}
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *gen) block(b *ast.Block) {
+	for _, s := range b.Stmts {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		g.block(x)
+	case *ast.DeclStmt:
+		g.declStmt(x)
+	case *ast.AssignStmt:
+		g.assignStmt(x)
+	case *ast.IfStmt:
+		g.line("if %s {", g.cond(x.Cond))
+		g.ind++
+		g.block(x.Then)
+		g.ind--
+		if x.Else != nil {
+			g.line("} else {")
+			g.ind++
+			g.stmt(x.Else)
+			g.ind--
+		}
+		g.line("}")
+	case *ast.WhileStmt:
+		g.line("for %s {", g.cond(x.Cond))
+		g.ind++
+		g.block(x.Body)
+		g.ind--
+		g.line("}")
+	case *ast.ReturnStmt:
+		for i := 0; i < g.inAtomic; i++ {
+			g.line("%s.mu.Unlock()", g.recv)
+		}
+		if x.Val == nil || g.retT.Base == types.Void {
+			g.line("return")
+		} else {
+			g.line("return %s", g.exprAs(x.Val, g.retT))
+		}
+	case *ast.AssertStmt:
+		g.helpers["assertTrue"] = true
+		g.line("assertTrue(%s, %q)", g.cond(x.Cond), types.ExprString(x.Cond))
+	case *ast.AtomicStmt:
+		g.atomicStmt(x)
+	case *ast.ForkStmt:
+		g.forkStmt(x)
+	case *ast.LockStmt:
+		obj, t := g.expr(x.Target)
+		if t.Base != types.Ref {
+			g.errf("lock target %s is not a reference", types.ExprString(x.Target))
+			return
+		}
+		if x.Unlock {
+			g.helpers["lockRelease"] = true
+			g.line("lockRelease(&%s.%s)", obj, types.LockField)
+		} else {
+			g.helpers["lockAcquire"] = true
+			g.line("lockAcquire(&%s.%s)", obj, types.LockField)
+		}
+	case *ast.ExprStmt:
+		g.exprStmt(x)
+	default:
+		g.errf("unsupported statement %T (must be resolved before emission)", s)
+	}
+}
+
+func (g *gen) declStmt(x *ast.DeclStmt) {
+	t, err := g.typeExprType(x.Type)
+	if err != nil {
+		g.errf("local %s: %v", x.Name, err)
+		return
+	}
+	g.locals[x.Name] = t
+	name := safeIdent(x.Name)
+	switch {
+	case x.Init == nil:
+		g.line("var %s %s", name, goType(t))
+	case t.IsArray():
+		s, rt := g.expr(x.Init)
+		if rt.IsArray() {
+			g.line("var %s %s = %s", name, goType(t), s)
+		} else {
+			g.line("var %s %s", name, goType(t))
+			g.broadcast(name, t, x.Init, false)
+		}
+	default:
+		g.line("var %s %s = %s", name, goType(t), g.exprAs(x.Init, t))
+	}
+	if g.reads[x.Name] == 0 {
+		g.line("_ = %s", name)
+	}
+}
+
+func (g *gen) assignStmt(x *ast.AssignStmt) {
+	c, t, shared := g.cell(x.LHS)
+	if t.IsArray() {
+		rt := g.typeOf(x.RHS)
+		if rt.IsArray() {
+			if shared {
+				g.errf("whole-array assignment to shared %s is not supported", types.ExprString(x.LHS))
+				return
+			}
+			s, _ := g.expr(x.RHS)
+			g.line("%s = %s", c, s)
+			return
+		}
+		g.broadcast(c, t, x.RHS, shared)
+		return
+	}
+	if shared {
+		g.line("%s.Store(%s)", c, g.exprAs(x.RHS, t))
+	} else {
+		g.line("%s = %s", c, g.exprAs(x.RHS, t))
+	}
+}
+
+// broadcast fills every element of an array cell with a scalar value
+// (the model's `arr = v` fill semantics).
+func (g *gen) broadcast(c string, t types.Type, v ast.Expr, shared bool) {
+	i := freshName("i", g.usedNames())
+	val := g.exprAs(v, t.Elem())
+	if shared {
+		g.line("for %s := range %s {", i, c)
+		g.ind++
+		g.line("%s[%s].Store(%s)", c, i, val)
+	} else {
+		g.line("for %s := range %s {", i, c)
+		g.ind++
+		g.line("%s[%s] = %s", c, i, val)
+	}
+	g.ind--
+	g.line("}")
+}
+
+func (g *gen) usedNames() map[string]bool {
+	used := map[string]bool{g.recv: true}
+	for n := range g.locals {
+		used[safeIdent(n)] = true
+	}
+	return used
+}
+
+func (g *gen) atomicStmt(x *ast.AtomicStmt) {
+	if g.inAtomic > 0 {
+		g.errf("nested atomic blocks are not supported by the Go backend")
+		return
+	}
+	g.needs["sync"] = true
+	g.helpers["mu"] = true
+	if x.Cond == nil {
+		g.line("%s.mu.Lock()", g.recv)
+		g.inAtomic++
+		g.block(x.Body)
+		g.inAtomic--
+		g.line("%s.mu.Unlock()", g.recv)
+		return
+	}
+	// Conditional atomic: spin until the condition holds with the
+	// mutex held, run the body, release. Gosched keeps the spin from
+	// starving the writer on a loaded scheduler.
+	g.needs["runtime"] = true
+	g.line("for {")
+	g.ind++
+	g.line("%s.mu.Lock()", g.recv)
+	g.line("if %s {", g.cond(x.Cond))
+	g.ind++
+	g.line("break")
+	g.ind--
+	g.line("}")
+	g.line("%s.mu.Unlock()", g.recv)
+	g.line("runtime.Gosched()")
+	g.ind--
+	g.line("}")
+	g.inAtomic++
+	g.block(x.Body)
+	g.inAtomic--
+	g.line("%s.mu.Unlock()", g.recv)
+}
+
+func (g *gen) forkStmt(x *ast.ForkStmt) {
+	g.needs["sync"] = true
+	wg := freshName("wg", g.usedNames())
+	v := safeIdent(x.Var)
+	g.locals[x.Var] = types.TInt
+	n := g.exprInt(x.N)
+	g.line("var %s sync.WaitGroup", wg)
+	g.line("for %s := int64(0); %s < %s; %s++ {", v, v, n, v)
+	g.ind++
+	g.line("%s.Add(1)", wg)
+	g.line("go func(%s int64) {", v)
+	g.ind++
+	g.line("defer %s.Done()", wg)
+	prevRet := g.retT
+	g.retT = types.TVoid
+	g.block(x.Body)
+	g.retT = prevRet
+	g.ind--
+	g.line("}(%s)", v)
+	g.ind--
+	g.line("}")
+	g.line("%s.Wait()", wg)
+}
+
+func (g *gen) exprStmt(x *ast.ExprStmt) {
+	if call, ok := x.X.(*ast.CallExpr); ok {
+		switch call.Fun {
+		case "AtomicSwap", "CAS":
+			s, _ := g.atomicBuiltin(call)
+			g.line("%s", s)
+			return
+		case "AtomicReadAndIncr", "AtomicReadAndDecr":
+			if len(call.Args) == 1 {
+				c, _, shared := g.cell(call.Args[0])
+				if shared {
+					if call.Fun == "AtomicReadAndIncr" {
+						g.line("%s.Add(1)", c)
+					} else {
+						g.line("%s.Add(-1)", c)
+					}
+					return
+				}
+			}
+			s, _ := g.atomicBuiltin(call)
+			g.line("_ = %s", s)
+			return
+		default:
+			s, _ := g.call(call)
+			g.line("%s", s)
+			return
+		}
+	}
+	if ne, ok := x.X.(*ast.NewExpr); ok {
+		s, _ := g.newExpr(ne)
+		g.line("%s", s)
+		return
+	}
+	s, _ := g.expr(x.X)
+	g.line("_ = %s", s)
+}
+
+// ------------------------------------------------------------ functions
+
+// methodName maps a sketch function onto its Go method name: exported,
+// with the harness becoming Run.
+func (g *gen) methodName(f *ast.FuncDecl) string {
+	if f.Name == g.harnessName() {
+		return "Run"
+	}
+	return exported(safeIdent(f.Name))
+}
+
+func (g *gen) harnessName() string {
+	if g.sk.Harness != nil {
+		return g.sk.Harness.Name
+	}
+	return ""
+}
+
+// countReads walks a statement list counting identifier reads — every
+// identifier occurrence in expression position except a plain-Ident
+// assignment target. Locals with zero reads get a `_ = x` discard so
+// the emitted package always compiles.
+func countReads(stmts []ast.Stmt) map[string]int {
+	reads := map[string]int{}
+	var walkE func(e ast.Expr)
+	walkE = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Ident:
+			reads[x.Name]++
+		case *ast.Unary:
+			walkE(x.X)
+		case *ast.Binary:
+			walkE(x.X)
+			walkE(x.Y)
+		case *ast.FieldExpr:
+			walkE(x.X)
+		case *ast.IndexExpr:
+			walkE(x.X)
+			walkE(x.Index)
+		case *ast.SliceExpr:
+			walkE(x.X)
+			walkE(x.Start)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		case *ast.CastExpr:
+			walkE(x.X)
+		case *ast.NewExpr:
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		}
+	}
+	var walkS func(s ast.Stmt)
+	walkS = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walkS(st)
+			}
+		case *ast.DeclStmt:
+			walkE(x.Init)
+		case *ast.AssignStmt:
+			if _, plain := x.LHS.(*ast.Ident); !plain {
+				walkE(x.LHS)
+			}
+			walkE(x.RHS)
+		case *ast.IfStmt:
+			walkE(x.Cond)
+			walkS(x.Then)
+			walkS(x.Else)
+		case *ast.WhileStmt:
+			walkE(x.Cond)
+			walkS(x.Body)
+		case *ast.ReturnStmt:
+			walkE(x.Val)
+		case *ast.AssertStmt:
+			walkE(x.Cond)
+		case *ast.AtomicStmt:
+			walkE(x.Cond)
+			walkS(x.Body)
+		case *ast.ForkStmt:
+			walkE(x.N)
+			walkS(x.Body)
+		case *ast.LockStmt:
+			walkE(x.Target)
+		case *ast.ExprStmt:
+			walkE(x.X)
+		case *ast.ReorderStmt:
+			walkS(x.Body)
+		case *ast.RepeatStmt:
+			walkE(x.Count)
+			walkS(x.Body)
+		}
+	}
+	for _, s := range stmts {
+		walkS(s)
+	}
+	return reads
+}
+
+// declaredNames collects local declarations and fork variables, for
+// receiver-collision avoidance.
+func declaredNames(stmts []ast.Stmt, into map[string]bool) {
+	var walkS func(s ast.Stmt)
+	walkS = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				walkS(st)
+			}
+		case *ast.DeclStmt:
+			into[safeIdent(x.Name)] = true
+		case *ast.IfStmt:
+			walkS(x.Then)
+			walkS(x.Else)
+		case *ast.WhileStmt:
+			walkS(x.Body)
+		case *ast.AtomicStmt:
+			walkS(x.Body)
+		case *ast.ForkStmt:
+			into[safeIdent(x.Var)] = true
+			walkS(x.Body)
+		case *ast.ReorderStmt:
+			walkS(x.Body)
+		case *ast.RepeatStmt:
+			walkS(x.Body)
+		}
+	}
+	for _, s := range stmts {
+		walkS(s)
+	}
+}
+
+// emitFunc renders one function-like body (a method on *DS) into a
+// standalone chunk.
+func (g *gen) emitFunc(doc []string, name string, f *ast.FuncDecl, stmts []ast.Stmt, ret *ast.TypeExpr) (string, error) {
+	used := map[string]bool{}
+	for n := range g.globals {
+		used[safeIdent(n)] = true
+	}
+	for _, st := range g.structOrder {
+		used[safeType(st)] = true
+	}
+	var params []*ast.Param
+	if f != nil {
+		params = f.Params
+	}
+	for _, p := range params {
+		used[safeIdent(p.Name)] = true
+	}
+	declaredNames(stmts, used)
+	g.recv = freshName("s", used)
+	g.locals = map[string]types.Type{}
+	for _, p := range params {
+		t, err := g.typeExprType(p.Type)
+		if err != nil {
+			return "", fmt.Errorf("emit: param %s: %v", p.Name, err)
+		}
+		g.locals[p.Name] = t
+	}
+	g.reads = countReads(stmts)
+	retT, err := g.typeExprType(ret)
+	if err != nil {
+		return "", fmt.Errorf("emit: %v", err)
+	}
+	g.retT = retT
+	g.buf.Reset()
+	for _, d := range doc {
+		g.line("// %s", d)
+	}
+	var sig strings.Builder
+	fmt.Fprintf(&sig, "func (%s *DS) %s(", g.recv, name)
+	for i, p := range params {
+		if i > 0 {
+			sig.WriteString(", ")
+		}
+		fmt.Fprintf(&sig, "%s %s", safeIdent(p.Name), goType(g.locals[p.Name]))
+	}
+	sig.WriteString(")")
+	if retT.Base != types.Void {
+		sig.WriteString(" " + goType(retT))
+	}
+	sig.WriteString(" {")
+	g.line("%s", sig.String())
+	g.ind++
+	g.block(&ast.Block{Stmts: stmts})
+	g.ind--
+	g.line("}")
+	if g.err != nil {
+		err := g.err
+		g.err = nil
+		return "", err
+	}
+	return g.buf.String(), nil
+}
+
+// resolveFunc resolves one WorkProg function for the candidate.
+func (g *gen) resolveFunc(name string) (*ast.FuncDecl, error) {
+	return printer.ResolveAST(g.sk, g.cand, name)
+}
+
+// reachable walks resolved call graphs from the harness and returns
+// the reachable function set (harness included).
+func (g *gen) reachable(resolved map[string]*ast.FuncDecl) ([]string, error) {
+	seen := map[string]bool{}
+	var visit func(name string) error
+	var collectCalls func(s ast.Stmt, out *[]string)
+	var collectCallsE func(e ast.Expr, out *[]string)
+	collectCallsE = func(e ast.Expr, out *[]string) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Unary:
+			collectCallsE(x.X, out)
+		case *ast.Binary:
+			collectCallsE(x.X, out)
+			collectCallsE(x.Y, out)
+		case *ast.FieldExpr:
+			collectCallsE(x.X, out)
+		case *ast.IndexExpr:
+			collectCallsE(x.X, out)
+			collectCallsE(x.Index, out)
+		case *ast.CallExpr:
+			if g.funcs[x.Fun] != nil {
+				*out = append(*out, x.Fun)
+			}
+			for _, a := range x.Args {
+				collectCallsE(a, out)
+			}
+		case *ast.CastExpr:
+			collectCallsE(x.X, out)
+		case *ast.NewExpr:
+			for _, a := range x.Args {
+				collectCallsE(a, out)
+			}
+		}
+	}
+	collectCalls = func(s ast.Stmt, out *[]string) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				collectCalls(st, out)
+			}
+		case *ast.DeclStmt:
+			collectCallsE(x.Init, out)
+		case *ast.AssignStmt:
+			collectCallsE(x.LHS, out)
+			collectCallsE(x.RHS, out)
+		case *ast.IfStmt:
+			collectCallsE(x.Cond, out)
+			collectCalls(x.Then, out)
+			collectCalls(x.Else, out)
+		case *ast.WhileStmt:
+			collectCallsE(x.Cond, out)
+			collectCalls(x.Body, out)
+		case *ast.ReturnStmt:
+			collectCallsE(x.Val, out)
+		case *ast.AssertStmt:
+			collectCallsE(x.Cond, out)
+		case *ast.AtomicStmt:
+			collectCallsE(x.Cond, out)
+			collectCalls(x.Body, out)
+		case *ast.ForkStmt:
+			collectCallsE(x.N, out)
+			collectCalls(x.Body, out)
+		case *ast.LockStmt:
+			collectCallsE(x.Target, out)
+		case *ast.ExprStmt:
+			collectCallsE(x.X, out)
+		}
+	}
+	visit = func(name string) error {
+		if seen[name] {
+			return nil
+		}
+		seen[name] = true
+		f, err := g.resolveFunc(name)
+		if err != nil {
+			return err
+		}
+		if f.Generator {
+			return fmt.Errorf("emit: generator %s is called but was not inlined (only expression-inlinable generators are supported)", name)
+		}
+		resolved[name] = f
+		var callees []string
+		collectCalls(f.Body, &callees)
+		for _, c := range callees {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	h := g.harnessName()
+	if h == "" || g.funcs[h] == nil {
+		return nil, fmt.Errorf("emit: sketch has no harness function")
+	}
+	if err := visit(h); err != nil {
+		return nil, err
+	}
+	// Deterministic order: WorkProg declaration order, harness last.
+	var order []string
+	for _, f := range g.sk.WorkProg.Funcs {
+		if seen[f.Name] && f.Name != h {
+			order = append(order, f.Name)
+		}
+	}
+	order = append(order, h)
+	return order, nil
+}
+
+// collectOps lists calls to user functions inside the harness's fork
+// body (or the whole body when sequential), in source order — the op
+// sequence the load harness replays per round.
+func (g *gen) collectOps(harness *ast.FuncDecl) []string {
+	stmts := harness.Body.Stmts
+	if fork := topLevelFork(harness.Body); fork != nil {
+		stmts = fork.Body.Stmts
+	}
+	var out []string
+	var blk ast.Stmt = &ast.Block{Stmts: stmts}
+	var collect func(s ast.Stmt)
+	var collectE func(e ast.Expr)
+	collectE = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Unary:
+			collectE(x.X)
+		case *ast.Binary:
+			collectE(x.X)
+			collectE(x.Y)
+		case *ast.FieldExpr:
+			collectE(x.X)
+		case *ast.IndexExpr:
+			collectE(x.X)
+			collectE(x.Index)
+		case *ast.CallExpr:
+			if f := g.funcs[x.Fun]; f != nil && !f.Generator && x.Fun != g.harnessName() {
+				if g.opDrivable(f) {
+					out = append(out, g.methodName(f))
+				}
+			}
+			for _, a := range x.Args {
+				collectE(a)
+			}
+		case *ast.CastExpr:
+			collectE(x.X)
+		case *ast.NewExpr:
+			for _, a := range x.Args {
+				collectE(a)
+			}
+		}
+	}
+	collect = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				collect(st)
+			}
+		case *ast.DeclStmt:
+			collectE(x.Init)
+		case *ast.AssignStmt:
+			collectE(x.RHS)
+		case *ast.IfStmt:
+			collect(x.Then)
+			collect(x.Else)
+		case *ast.WhileStmt:
+			collect(x.Body)
+		case *ast.AssertStmt:
+		case *ast.AtomicStmt:
+			collect(x.Body)
+		case *ast.ExprStmt:
+			collectE(x.X)
+		}
+	}
+	collect(blk)
+	return out
+}
+
+// opDrivable reports whether the load harness can synthesize arguments
+// for an operation: scalar int/bool parameters only.
+func (g *gen) opDrivable(f *ast.FuncDecl) bool {
+	for _, p := range f.Params {
+		t, err := g.typeExprType(p.Type)
+		if err != nil || t.IsArray() || t.Base == types.Ref {
+			return false
+		}
+	}
+	return true
+}
+
+// topLevelFork finds the harness's top-level fork statement, if any.
+func topLevelFork(b *ast.Block) *ast.ForkStmt {
+	for _, s := range b.Stmts {
+		if f, ok := s.(*ast.ForkStmt); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ ds.go
+
+// dsFile generates the main source file: struct types, the DS globals
+// bundle, constructors, methods, the harness Run/Init split, and the
+// helpers. It also returns the load-harness op list.
+func (g *gen) dsFile(name, code string) ([]byte, []string, error) {
+	resolved := map[string]*ast.FuncDecl{}
+	order, err := g.reachable(resolved)
+	if err != nil {
+		return nil, nil, err
+	}
+	harness := resolved[g.harnessName()]
+	ops := g.collectOps(harness)
+
+	var chunks []string
+
+	// Constructors (one per struct, in declaration order).
+	for _, sn := range g.structOrder {
+		c, err := g.ctor(g.structs[sn])
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks = append(chunks, c)
+	}
+
+	// Operations, then the harness.
+	for _, fn := range order {
+		f := resolved[fn]
+		if fn == g.harnessName() {
+			continue
+		}
+		c, err := g.emitFunc(
+			[]string{fmt.Sprintf("%s is the sketch operation `%s`.", g.methodName(f), fn)},
+			g.methodName(f), f, f.Body.Stmts, f.Ret)
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks = append(chunks, c)
+	}
+
+	// Init: the harness prologue (everything before the fork), used by
+	// the load harness to set the structure up without running the
+	// whole verification scenario.
+	prologue := harness.Body.Stmts
+	for i, s := range harness.Body.Stmts {
+		if _, ok := s.(*ast.ForkStmt); ok {
+			prologue = harness.Body.Stmts[:i]
+			break
+		}
+	}
+	initChunk, err := g.emitFunc(
+		[]string{"Init runs the harness prologue: it puts the structure in its", "verified initial state without running the full scenario."},
+		"Init", nil, prologue, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	chunks = append(chunks, initChunk)
+
+	runChunk, err := g.emitFunc(
+		[]string{"Run executes the verified harness once end to end: prologue,", "concurrent threads (as real goroutines), epilogue assertions.", "It panics if an assertion the model checker proved is violated."},
+		"Run", nil, harness.Body.Stmts, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	chunks = append(chunks, runChunk)
+
+	// Assemble the file.
+	var b strings.Builder
+	b.WriteString("// Code generated by psketch (internal/emit); DO NOT EDIT.\n//\n")
+	fmt.Fprintf(&b, "// Candidate %s of sketch harness %s.\n", name, g.harnessName())
+	fmt.Fprintf(&b, "// Hole assignment: %v\n//\n", []int64(g.cand))
+	b.WriteString("// Resolved sketch (model syntax):\n//\n")
+	for _, ln := range strings.Split(strings.TrimRight(code, "\n"), "\n") {
+		if ln == "" {
+			b.WriteString("//\n")
+		} else {
+			b.WriteString("//\t" + ln + "\n")
+		}
+	}
+	b.WriteString("package main\n\n")
+
+	if len(g.structOrder) > 0 || len(g.globalOrder) > 0 {
+		g.needs["sync/atomic"] = true
+	}
+	var imps []string
+	for imp := range g.needs {
+		imps = append(imps, imp)
+	}
+	sort.Strings(imps)
+	if len(imps) > 0 {
+		b.WriteString("import (\n")
+		for _, imp := range imps {
+			fmt.Fprintf(&b, "\t%q\n", imp)
+		}
+		b.WriteString(")\n\n")
+	}
+
+	// Struct types: every field is a shared atomic cell (including the
+	// implicit _lock owner used by lock/unlock).
+	for _, sn := range g.structOrder {
+		si := g.structs[sn]
+		fmt.Fprintf(&b, "// %s mirrors the sketch struct of the same name; all fields\n// are shared atomic cells.\ntype %s struct {\n", safeType(sn), safeType(sn))
+		for _, f := range si.Fields {
+			fmt.Fprintf(&b, "\t%s %s\n", safeIdent(f.Name), goAtomic(f.Type))
+		}
+		b.WriteString("}\n\n")
+	}
+
+	// DS: the globals bundle.
+	b.WriteString("// DS holds the sketch's shared globals. Allocate with New; each\n// DS is an independent instance of the synthesized structure.\ntype DS struct {\n")
+	if g.helpers["mu"] {
+		b.WriteString("\tmu sync.Mutex // the model's atomic{} blocks\n")
+	}
+	for _, gn := range g.globalOrder {
+		fmt.Fprintf(&b, "\t%s %s\n", safeIdent(gn), goAtomic(g.globals[gn]))
+	}
+	b.WriteString("}\n\n")
+
+	// New + global initializers.
+	newChunk, err := g.newFunc()
+	if err != nil {
+		return nil, nil, err
+	}
+	b.WriteString(newChunk)
+	b.WriteString("\n")
+
+	for _, c := range chunks {
+		b.WriteString(c)
+		b.WriteString("\n")
+	}
+
+	b.WriteString(g.helperChunk())
+	return []byte(b.String()), ops, nil
+}
+
+// newFunc renders New() with the sketch's global initializers.
+func (g *gen) newFunc() (string, error) {
+	g.buf.Reset()
+	g.locals = map[string]types.Type{}
+	g.reads = map[string]int{}
+	g.retT = types.TVoid
+	used := map[string]bool{}
+	for n := range g.globals {
+		used[safeIdent(n)] = true
+	}
+	g.recv = freshName("s", used)
+	g.line("// New allocates the structure and applies the sketch's global")
+	g.line("// initializers.")
+	g.line("func New() *DS {")
+	g.ind++
+	g.line("%s := &DS{}", g.recv)
+	for _, gd := range g.sk.WorkProg.Globals {
+		if gd.Init == nil {
+			continue
+		}
+		t := g.globals[gd.Name]
+		if t.IsArray() {
+			g.broadcast(g.recv+"."+safeIdent(gd.Name), t, gd.Init, true)
+			continue
+		}
+		g.line("%s.%s.Store(%s)", g.recv, safeIdent(gd.Name), g.exprAs(gd.Init, t))
+	}
+	g.line("return %s", g.recv)
+	g.ind--
+	g.line("}")
+	if g.err != nil {
+		err := g.err
+		g.err = nil
+		return "", err
+	}
+	return g.buf.String(), nil
+}
+
+// ctor renders the arena-free constructor for one struct: positional
+// arguments bind the defaultless fields (the model's `new T(args)`),
+// defaults are stored after.
+func (g *gen) ctor(si *types.StructInfo) (string, error) {
+	g.buf.Reset()
+	g.locals = map[string]types.Type{}
+	g.reads = map[string]int{}
+	g.retT = types.TVoid
+	used := map[string]bool{"n": true}
+	for n := range g.globals {
+		used[safeIdent(n)] = true
+	}
+	g.recv = freshName("s", used)
+	ctor := si.CtorFields()
+	var params []string
+	argNames := map[int]string{}
+	for _, fi := range ctor {
+		f := si.Fields[fi]
+		an := freshName("a_"+safeIdent(f.Name), used)
+		used[an] = true
+		argNames[fi] = an
+		params = append(params, fmt.Sprintf("%s %s", an, goType(f.Type)))
+	}
+	g.line("// new%s allocates a %s node (the model's `new %s(...)`).",
+		exported(safeType(si.Name)), safeType(si.Name), si.Name)
+	g.line("func (%s *DS) new%s(%s) *%s {", g.recv, exported(safeType(si.Name)),
+		strings.Join(params, ", "), safeType(si.Name))
+	g.ind++
+	g.line("n := &%s{}", safeType(si.Name))
+	for i, f := range si.Fields {
+		if an, ok := argNames[i]; ok {
+			g.line("n.%s.Store(%s)", safeIdent(f.Name), an)
+			continue
+		}
+		if f.Default == nil {
+			continue
+		}
+		if _, isNull := f.Default.(*ast.NullLit); isNull {
+			continue // zero value
+		}
+		if lit, ok := f.Default.(*ast.IntLit); ok && lit.Val == 0 && f.Type.Base == types.Int {
+			continue // zero value
+		}
+		if lit, ok := f.Default.(*ast.BoolLit); ok && !lit.Val {
+			continue // zero value
+		}
+		g.line("n.%s.Store(%s)", safeIdent(f.Name), g.exprAs(f.Default, f.Type))
+	}
+	g.line("return n")
+	g.ind--
+	g.line("}")
+	if g.err != nil {
+		err := g.err
+		g.err = nil
+		return "", err
+	}
+	return g.buf.String(), nil
+}
+
+// helperChunk renders only the helpers the lowering referenced.
+func (g *gen) helperChunk() string {
+	var b strings.Builder
+	if g.helpers["assertTrue"] {
+		b.WriteString(`// assertTrue mirrors the model's assert statement: the model
+// checker proved these under its interleaving semantics, so a panic
+// here means Go's weaker memory model (or the mutex approximation of
+// atomic blocks) broke an assumption — see ARCHITECTURE.md.
+func assertTrue(cond bool, msg string) {
+	if !cond {
+		panic("assertion failed: " + msg)
+	}
+}
+
+`)
+	}
+	if g.helpers["b2i"] {
+		b.WriteString(`// b2i bridges Go bools back to the model's 0/1 integer cells.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+`)
+	}
+	if g.helpers["lockAcquire"] || g.helpers["lockRelease"] {
+		g.needs["sync/atomic"] = true
+		b.WriteString(`// lockAcquire spin-claims a node's _lock cell (the model's lock(x)
+// sugar: an atomic wait for _lock == 0 that then stores the owner).
+func lockAcquire(l *atomic.Int64) {
+	for !l.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+// lockRelease releases a node's _lock cell (the model's unlock(x)).
+func lockRelease(l *atomic.Int64) {
+	l.Store(0)
+}
+
+`)
+	}
+	return b.String()
+}

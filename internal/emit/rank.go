@@ -1,0 +1,207 @@
+package emit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"psketch/internal/obs"
+)
+
+// RankOptions configure a ranking pass over emitted candidate
+// directories.
+type RankOptions struct {
+	// GoTool is the go binary to build/run with ("go" when empty).
+	GoTool string
+	// Goroutines is the load-harness worker count (8 when zero).
+	Goroutines int
+	// Duration is the per-run measurement window (500ms when zero).
+	Duration time.Duration
+	// Mix overrides the harness op mix ("Enqueue,Dequeue,...").
+	Mix string
+	// Runs measures each candidate this many times and keeps the best
+	// (3 when zero) — best-of damps scheduler noise.
+	Runs int
+	// BuildTimeout / RunTimeout bound each subprocess (60s / 30s when
+	// zero; the run timeout is added on top of Duration).
+	BuildTimeout time.Duration
+	RunTimeout   time.Duration
+
+	Tracer  *obs.Tracer
+	Parent  obs.SpanID
+	Metrics *obs.Metrics
+}
+
+func (o *RankOptions) defaults() {
+	if o.GoTool == "" {
+		o.GoTool = "go"
+	}
+	if o.Goroutines <= 0 {
+		o.Goroutines = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 500 * time.Millisecond
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.BuildTimeout <= 0 {
+		o.BuildTimeout = 60 * time.Second
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 30 * time.Second
+	}
+}
+
+// Measurement is one candidate's measured throughput. Err is non-empty
+// when the candidate failed to build or run; failed candidates sort
+// after all measured ones.
+type Measurement struct {
+	Dir       string  `json:"dir"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Ops       int64   `json:"ops"`
+	BuildMS   int64   `json:"build_ms"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// HaveGo reports whether the go tool is available on PATH — callers
+// (CLI, tests) use it to degrade gracefully on go-less hosts.
+func HaveGo(tool string) bool {
+	if tool == "" {
+		tool = "go"
+	}
+	_, err := exec.LookPath(tool)
+	return err == nil
+}
+
+// Rank builds every emitted candidate directory, runs its load harness,
+// and returns measurements ordered fastest-first (build/run failures
+// last, in input order). Candidates are measured sequentially so they
+// do not contend with each other.
+func Rank(dirs []string, o RankOptions) ([]Measurement, error) {
+	o.defaults()
+	sp := o.Tracer.Start("emit.rank", o.Parent)
+	t0 := time.Now()
+	met := o.Metrics
+	if met == nil {
+		met = obs.NewMetrics()
+	}
+	if !HaveGo(o.GoTool) {
+		return nil, fmt.Errorf("emit: go tool %q not found in PATH", o.GoTool)
+	}
+	ms := make([]Measurement, 0, len(dirs))
+	for _, dir := range dirs {
+		ms = append(ms, o.measure(dir, met))
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if (ms[i].Err == "") != (ms[j].Err == "") {
+			return ms[i].Err == ""
+		}
+		return ms[i].OpsPerSec > ms[j].OpsPerSec
+	})
+	sp.EndDur(time.Since(t0), obs.Int("candidates", int64(len(ms))))
+	return ms, nil
+}
+
+func (o *RankOptions) measure(dir string, met *obs.Metrics) Measurement {
+	m := Measurement{Dir: dir}
+	// The bench binary runs with cmd.Dir = dir, so its path must be
+	// relative to that dir (or absolute), not to our own cwd.
+	bin := "." + string(filepath.Separator) + "bench.bin"
+
+	bsp := o.Tracer.Start("emit.rank.build", o.Parent)
+	bt0 := time.Now()
+	met.Counter("emit.rank.builds").Add(1)
+	build := exec.Command(o.GoTool, "build", "-o", "bench.bin", ".")
+	build.Dir = dir
+	out, err := runWithTimeout(build, o.BuildTimeout)
+	m.BuildMS = time.Since(bt0).Milliseconds()
+	bsp.EndDur(time.Since(bt0), obs.Str("dir", dir))
+	if err != nil {
+		met.Counter("emit.rank.build_failures").Add(1)
+		m.Err = fmt.Sprintf("build: %v: %s", err, firstLine(out))
+		return m
+	}
+
+	for run := 0; run < o.Runs; run++ {
+		rsp := o.Tracer.Start("emit.rank.run", o.Parent)
+		rt0 := time.Now()
+		met.Counter("emit.rank.runs").Add(1)
+		args := []string{
+			fmt.Sprintf("-goroutines=%d", o.Goroutines),
+			fmt.Sprintf("-duration-ms=%d", o.Duration.Milliseconds()),
+		}
+		if o.Mix != "" {
+			args = append(args, "-mix="+o.Mix)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := runWithTimeout(cmd, o.RunTimeout+o.Duration)
+		rsp.EndDur(time.Since(rt0), obs.Str("dir", dir))
+		if err != nil {
+			met.Counter("emit.rank.run_failures").Add(1)
+			m.Err = fmt.Sprintf("run: %v: %s", err, firstLine(out))
+			return m
+		}
+		var r struct {
+			Ops       int64   `json:"ops"`
+			OpsPerSec float64 `json:"ops_per_sec"`
+		}
+		if err := json.Unmarshal(lastJSONLine(out), &r); err != nil {
+			m.Err = fmt.Sprintf("run: bad bench output: %v", err)
+			return m
+		}
+		if r.OpsPerSec > m.OpsPerSec {
+			m.OpsPerSec = r.OpsPerSec
+			m.Ops = r.Ops
+		}
+	}
+	return m
+}
+
+// runWithTimeout runs cmd with combined output and a hard kill after d.
+func runWithTimeout(cmd *exec.Cmd, d time.Duration) ([]byte, error) {
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return buf.Bytes(), err
+	case <-time.After(d):
+		_ = cmd.Process.Kill()
+		<-done
+		return buf.Bytes(), fmt.Errorf("timed out after %s", d)
+	}
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+// lastJSONLine picks the last {...} line of output, tolerating stray
+// warnings around the bench JSON.
+func lastJSONLine(b []byte) []byte {
+	lines := bytes.Split(bytes.TrimSpace(b), []byte("\n"))
+	for i := len(lines) - 1; i >= 0; i-- {
+		l := bytes.TrimSpace(lines[i])
+		if len(l) > 0 && l[0] == '{' {
+			return l
+		}
+	}
+	return bytes.TrimSpace(b)
+}

@@ -18,9 +18,28 @@ import (
 // Resolve renders the named function of the sketch with the candidate's
 // choices substituted and constant control flow folded away.
 func Resolve(sk *desugar.Sketch, cand desugar.Candidate, fn string) (string, error) {
+	f, err := ResolveAST(sk, cand, fn)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	writeSignature(&b, f)
+	b.WriteString(" ")
+	writeBlock(&b, f.Body, 0)
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// ResolveAST returns the named function of the sketch with the
+// candidate's choices substituted and constant control flow folded
+// away, as an AST rather than text — the entry point the Go codegen
+// backend (internal/emit) lowers from. The returned declaration is a
+// fresh copy down to statement level; leaf expressions may be shared
+// with the sketch and must not be mutated.
+func ResolveAST(sk *desugar.Sketch, cand desugar.Candidate, fn string) (*ast.FuncDecl, error) {
 	f := sk.WorkProg.Func(fn)
 	if f == nil {
-		return "", fmt.Errorf("printer: no function %s", fn)
+		return nil, fmt.Errorf("printer: no function %s", fn)
 	}
 	r := &resolver{sk: sk, cand: cand}
 	body := r.block(f.Body)
@@ -28,16 +47,15 @@ func Resolve(sk *desugar.Sketch, cand desugar.Candidate, fn string) (string, err
 	for _, g := range sk.WorkProg.Globals {
 		taken[g.Name] = true
 	}
-	for _, fn := range sk.WorkProg.Funcs {
-		taken[fn.Name] = true
+	for _, fd := range sk.WorkProg.Funcs {
+		taken[fd.Name] = true
 	}
 	prettyLocals(f, body, taken)
-	var b strings.Builder
-	writeSignature(&b, f)
-	b.WriteString(" ")
-	writeBlock(&b, body, 0)
-	b.WriteString("\n")
-	return b.String(), nil
+	return &ast.FuncDecl{
+		P: f.P, Generator: f.Generator, Harness: f.Harness,
+		Ret: f.Ret, Name: f.Name, Params: f.Params,
+		Implements: f.Implements, Body: body,
+	}, nil
 }
 
 // Program renders every non-generator function of the resolved sketch.

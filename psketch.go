@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 
@@ -34,6 +35,7 @@ import (
 	"psketch/internal/cube"
 	"psketch/internal/desugar"
 	"psketch/internal/drat"
+	"psketch/internal/emit"
 	"psketch/internal/ir"
 	"psketch/internal/mc"
 	"psketch/internal/obs"
@@ -67,6 +69,11 @@ type Options struct {
 	Encoding Encoding
 	// MaxIterations bounds the CEGIS loop (default 256).
 	MaxIterations int
+	// MaxSolutions bounds enumerate-all mode (SynthesizeAll and the
+	// -emit-dir/-rank pipeline): verified candidates are blocked and
+	// the space re-solved until UNSAT or this many solutions
+	// (default 8).
+	MaxSolutions int
 	// MCMaxStates bounds the model checker (default 4,000,000).
 	MCMaxStates int
 	// TracesPerIteration asks the verifier for several counterexample
@@ -206,6 +213,7 @@ func (s *Sketch) coreOpts() core.Options {
 		Warm:               s.opts.Warm,
 		WarmKey:            s.warmKey,
 		MaxIterations:      s.opts.MaxIterations,
+		MaxSolutions:       s.opts.MaxSolutions,
 		MCMaxStates:        s.opts.MCMaxStates,
 		TracesPerIteration: s.opts.TracesPerIteration,
 		Parallelism:        s.opts.Parallelism,
@@ -490,4 +498,181 @@ func (s *Sketch) Enumerate(max int) ([]*Result, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// SynthesizeAll is enumerate-all-solutions mode: verified candidates
+// are blocked and the space re-solved until UNSAT, bounded by
+// Options.MaxSolutions. Under Options.Cubes > 1 each re-solve is its
+// own cube-and-conquer run with the found candidates pre-blocked
+// (blocking clauses are whole-space facts, so they stay sound under
+// cube assumptions) — the returned candidate set is invariant under
+// parallelism and cube settings, only its order may differ.
+func (s *Sketch) SynthesizeAll() ([]*Result, error) {
+	max := s.opts.MaxSolutions
+	if max <= 0 {
+		max = 8
+	}
+	if s.opts.Cubes <= 1 {
+		return s.Enumerate(max)
+	}
+	var out []*Result
+	var blocked []Candidate
+	for len(out) < max {
+		co := s.cubeOpts()
+		co.Core.Block = append([]Candidate(nil), blocked...)
+		r, err := cube.Synthesize(s.sk, co)
+		if err != nil {
+			return out, err
+		}
+		res, err := s.cubeResult(r)
+		if err != nil {
+			return out, err
+		}
+		if !res.Resolved {
+			break
+		}
+		out = append(out, res)
+		blocked = append(blocked, res.Candidate)
+	}
+	return out, nil
+}
+
+// EmittedPackage is one candidate lowered to a compilable Go package
+// (see internal/emit for the lowering map and its soundness caveat).
+type EmittedPackage = emit.Package
+
+// RankOptions configure the throughput-ranking pass over emitted
+// candidates.
+type RankOptions = emit.RankOptions
+
+// Measurement is one emitted candidate's measured throughput.
+type Measurement = emit.Measurement
+
+// EmitManifest is the saved verdict -emit-dir leaves at the emit root.
+type EmitManifest = emit.Manifest
+
+// ReadEmitManifest loads the manifest.json a SynthesizeEmit run saved
+// under root.
+func ReadEmitManifest(root string) (*EmitManifest, error) {
+	return emit.ReadManifest(root)
+}
+
+// EmitGo lowers one verified candidate into a compilable Go package:
+// real sync/atomic operations, real goroutines, the structure's ops as
+// exported methods, plus a generated load harness and race-detector
+// stress test.
+func (s *Sketch) EmitGo(cand Candidate, name string) (*EmittedPackage, error) {
+	return emit.Emit(s.sk, cand, emit.Options{
+		Name:    name,
+		Tracer:  s.opts.Trace,
+		Parent:  s.opts.TraceParent,
+		Metrics: s.opts.Metrics,
+	})
+}
+
+// SynthesizeEmit runs enumerate-all mode, deduplicates completions that
+// resolve to identical code (distinct hole assignments can fold to the
+// same program), writes one Go package per distinct candidate under
+// dir (cand00, cand01, ...) and saves dir/manifest.json as the verdict
+// record cmd/pskemit can re-rank from. It returns the kept results and
+// their package directories, in enumeration order.
+func (s *Sketch) SynthesizeEmit(dir string) ([]*Result, []string, error) {
+	rs, err := s.SynthesizeAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	man := &EmitManifest{}
+	if s.sk.Harness != nil {
+		man.Sketch = s.sk.Harness.Name
+	}
+	seen := map[string]bool{}
+	var kept []*Result
+	var dirs []string
+	for _, r := range rs {
+		if seen[r.Code] {
+			continue
+		}
+		seen[r.Code] = true
+		name := fmt.Sprintf("cand%02d", len(kept))
+		p, err := s.EmitGo(r.Candidate, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cdir := filepath.Join(dir, name)
+		if err := p.WriteDir(cdir); err != nil {
+			return nil, nil, err
+		}
+		man.Candidates = append(man.Candidates, emit.ManifestEntry{
+			Name: name, Candidate: r.Candidate, Code: r.Code, Ops: p.Ops,
+		})
+		kept = append(kept, r)
+		dirs = append(dirs, cdir)
+	}
+	if err := emit.WriteManifest(dir, man); err != nil {
+		return nil, nil, err
+	}
+	return kept, dirs, nil
+}
+
+// SynthesizeRanked is the full pipeline: enumerate all verified
+// completions, emit each distinct one as a Go package under dir, build
+// and run every package's load harness, and return the results ordered
+// by measured ops/sec (fastest first) with per-candidate throughput in
+// Stats.Throughput. The measurements are also persisted into the
+// manifest. Candidates that fail to build or run sort last with
+// Stats.Throughput zero.
+func (s *Sketch) SynthesizeRanked(dir string, ropts RankOptions) ([]*Result, []Measurement, error) {
+	kept, dirs, err := s.SynthesizeEmit(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(kept) == 0 {
+		return nil, nil, nil
+	}
+	if ropts.Tracer == nil {
+		ropts.Tracer = s.opts.Trace
+		ropts.Parent = s.opts.TraceParent
+	}
+	if ropts.Metrics == nil {
+		ropts.Metrics = s.opts.Metrics
+	}
+	ms, err := emit.Rank(dirs, ropts)
+	if err != nil {
+		return kept, nil, err
+	}
+	byDir := map[string]*Result{}
+	for i, d := range dirs {
+		byDir[d] = kept[i]
+	}
+	ordered := make([]*Result, 0, len(kept))
+	for _, m := range ms {
+		r := byDir[m.Dir]
+		if r == nil {
+			continue
+		}
+		r.Stats.Throughput = m.OpsPerSec
+		ordered = append(ordered, r)
+	}
+	if man, err := emit.ReadManifest(dir); err == nil {
+		man.Ranked = ms
+		_ = emit.WriteManifest(dir, man)
+	}
+	return ordered, ms, nil
+}
+
+// RankEmitted re-ranks previously emitted candidate directories (a
+// saved -emit-dir verdict) by measured throughput without
+// re-synthesizing — cmd/pskemit's -dir mode.
+func RankEmitted(root string, ropts RankOptions) (*EmitManifest, []Measurement, error) {
+	man, err := emit.ReadManifest(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, err := emit.Rank(man.CandidateDirs(root), ropts)
+	if err != nil {
+		return man, nil, err
+	}
+	man.Ranked = ms
+	_ = emit.WriteManifest(root, man)
+	return man, ms, nil
 }
